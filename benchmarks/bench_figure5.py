@@ -1,0 +1,57 @@
+"""Figure 5: USP vs space-partitioning baselines (accuracy vs candidate size).
+
+Paper setup: SIFT and MNIST, 16 and 256 bins, USP with an ensemble of 3
+models against Neural LSH, K-means, and Cross-polytope LSH.  Reproduction:
+the same methods at reduced dataset scale; the 256-bin configuration is
+scaled to 64 bins built hierarchically (8 x 8), keeping the paper's
+points-per-bin regime comparable.
+"""
+
+from conftest import run_once
+
+from repro.eval import format_curves, format_frontier_summary, run_figure5
+
+
+def _summarise(curves):
+    return (
+        format_frontier_summary(curves, (0.8, 0.85, 0.9, 0.95))
+        + "\n\n"
+        + format_curves(curves)
+    )
+
+
+def test_figure5_sift_16bins(benchmark, sift_dataset, report):
+    curves = run_once(benchmark, run_figure5, sift_dataset, n_bins=16, ensemble_size=3)
+    report("figure5_sift_16bins", _summarise(curves))
+    usp = next(c for c in curves if c.method.startswith("USP (ensemble"))
+    kmeans = next(c for c in curves if c.method == "K-means")
+    lsh = next(c for c in curves if c.method == "Cross-polytope LSH")
+    # Paper shape: USP needs no larger candidate sets than K-means and
+    # clearly smaller than data-oblivious LSH at the 85% operating point.
+    assert usp.candidate_size_at_accuracy(0.85) <= kmeans.candidate_size_at_accuracy(0.85) * 1.1
+    assert usp.candidate_size_at_accuracy(0.85) <= lsh.candidate_size_at_accuracy(0.85)
+
+
+def test_figure5_mnist_16bins(benchmark, mnist_dataset, report):
+    curves = run_once(benchmark, run_figure5, mnist_dataset, n_bins=16, ensemble_size=3)
+    report("figure5_mnist_16bins", _summarise(curves))
+    usp = next(c for c in curves if c.method.startswith("USP (ensemble"))
+    lsh = next(c for c in curves if c.method == "Cross-polytope LSH")
+    assert usp.candidate_size_at_accuracy(0.85) <= lsh.candidate_size_at_accuracy(0.85)
+
+
+def test_figure5_sift_highbins_hierarchical(benchmark, sift_dataset, report):
+    """The paper's 256-bin configuration, scaled: 64 bins built as 8 x 8."""
+    curves = run_once(
+        benchmark,
+        run_figure5,
+        sift_dataset,
+        n_bins=64,
+        hierarchical=True,
+        hierarchical_levels=(8, 8),
+        ensemble_size=1,
+    )
+    report("figure5_sift_64bins_hierarchical", _summarise(curves))
+    usp = next(c for c in curves if c.method == "USP (1 model)")
+    lsh = next(c for c in curves if c.method == "Cross-polytope LSH")
+    assert usp.candidate_size_at_accuracy(0.8) <= lsh.candidate_size_at_accuracy(0.8)

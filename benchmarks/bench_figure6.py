@@ -1,0 +1,49 @@
+"""Figure 6: hyperplane/tree baselines vs the USP logistic-regression tree.
+
+Paper setup: depth-10 binary trees (1024 bins) on SIFT and MNIST; USP with
+a logistic regression learner against Regression LSH, 2-means tree, PCA
+tree, random-projection tree, learned KD-tree, and Boosted Search Forest.
+Reproduction: depth-6 trees (64 leaves) at reduced dataset scale.
+"""
+
+from conftest import run_once
+
+from repro.eval import format_curves, format_frontier_summary, run_figure6
+
+
+def _summarise(curves):
+    return (
+        format_frontier_summary(curves, (0.8, 0.9, 0.95, 0.98))
+        + "\n\n"
+        + format_curves(curves)
+    )
+
+
+def test_figure6_sift_trees(benchmark, sift_dataset, report):
+    curves = run_once(benchmark, run_figure6, sift_dataset, depth=6)
+    report("figure6_sift_trees", _summarise(curves))
+    by_method = {c.method: c for c in curves}
+    usp = by_method["USP (logistic tree)"]
+    # Paper shape: the learned USP tree clearly beats Regression LSH (the
+    # other *learned* hyperplane method), and its advantage is largest in
+    # the high-accuracy regime (the paper quotes ~60% smaller candidate
+    # sets at 98% accuracy on SIFT).
+    assert usp.candidate_size_at_accuracy(0.9) <= by_method[
+        "Regression LSH"
+    ].candidate_size_at_accuracy(0.9)
+    assert usp.candidate_size_at_accuracy(0.98) <= by_method[
+        "Random projection tree"
+    ].candidate_size_at_accuracy(0.98)
+
+
+def test_figure6_mnist_trees(benchmark, mnist_dataset, report):
+    curves = run_once(benchmark, run_figure6, mnist_dataset, depth=5)
+    report("figure6_mnist_trees", _summarise(curves))
+    by_method = {c.method: c for c in curves}
+    usp = by_method["USP (logistic tree)"]
+    # On the MNIST-like manifold data the PCA-style trees are very strong at
+    # this reduced scale (see EXPERIMENTS.md); the robust paper claim is the
+    # comparison against Regression LSH in the high-accuracy regime.
+    assert usp.candidate_size_at_accuracy(0.98) <= by_method[
+        "Regression LSH"
+    ].candidate_size_at_accuracy(0.98) * 1.05

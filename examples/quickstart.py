@@ -1,0 +1,55 @@
+"""Quickstart: build an unsupervised space partitioning (USP) index and query it.
+
+Run with:  python examples/quickstart.py
+
+This follows the paper's two phases end to end:
+  * offline  — build the k'-NN matrix, train the partition model with the
+               unsupervised loss, build the bin lookup table;
+  * online   — route each query to its most probable bins, search only the
+               candidate set, return the approximate k nearest neighbours.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core import UspConfig, UspIndex
+from repro.datasets import sift_like
+from repro.eval import average_candidate_size, knn_accuracy
+
+
+def main() -> None:
+    # 1. A SIFT-like benchmark dataset (see DESIGN.md for why it is synthetic).
+    data = sift_like(n_points=5000, n_queries=200, dim=64, n_clusters=12, seed=7)
+    print(f"dataset: {data.name}  base={data.base.shape}  queries={data.queries.shape}")
+
+    # 2. Offline phase: train the partition (Algorithm 1).
+    config = UspConfig(
+        n_bins=16,       # m — number of bins
+        k_prime=10,      # k' — neighbours in the k'-NN matrix
+        eta=30.0,        # balance weight in the loss U(R) + eta * S(R)
+        epochs=25,
+        hidden_dim=128,
+        seed=0,
+    )
+    index = UspIndex(config).build(data.base)
+    print(f"trained in {index.training_seconds():.1f}s, "
+          f"{index.num_parameters()} parameters, bin sizes: {index.bin_sizes().tolist()}")
+
+    # 3. Online phase: answer queries with increasing probe counts (Algorithm 2).
+    print(f"\n{'probes':>6} {'avg |C|':>9} {'10-NN accuracy':>15}")
+    for n_probes in (1, 2, 4, 8, 16):
+        candidates = index.candidate_sets(data.queries, n_probes)
+        retrieved, _ = index.batch_query(data.queries, k=10, n_probes=n_probes)
+        accuracy = knn_accuracy(retrieved, data.ground_truth, 10)
+        print(f"{n_probes:>6} {average_candidate_size(candidates):>9.0f} {accuracy:>15.3f}")
+
+    # 4. A single query, the way an application would issue it.
+    query = data.queries[0]
+    neighbours, distances = index.query(query, k=5, n_probes=2)
+    print("\nnearest neighbours of query 0:", neighbours.tolist())
+    print("distances:", np.round(distances, 2).tolist())
+
+
+if __name__ == "__main__":
+    main()

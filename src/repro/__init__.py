@@ -1,0 +1,62 @@
+"""neural-partitioner: reproduction of "Unsupervised Space Partitioning for
+Nearest Neighbor Search" (Fahim, Ali, Cheema — EDBT 2023).
+
+The public API is re-exported lazily from the subpackages so that importing
+:mod:`repro` stays cheap.  The most commonly used entry points are:
+
+* :class:`repro.core.UspIndex` — build/query the unsupervised space
+  partitioning ANN index (the paper's contribution).
+* :class:`repro.core.UspEnsembleIndex` — the boosted ensemble variant.
+* :mod:`repro.baselines` — K-means, Neural LSH, LSH, and tree baselines.
+* :mod:`repro.ann` — brute force, IVF-PQ, HNSW, and ScaNN-like back-ends.
+* :mod:`repro.datasets` — synthetic SIFT-like / MNIST-like benchmark data.
+* :mod:`repro.eval` — recall metrics and the experiment harness.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import TYPE_CHECKING
+
+__version__ = "1.0.0"
+
+_LAZY_SUBMODULES = {
+    "nn",
+    "utils",
+    "datasets",
+    "core",
+    "baselines",
+    "ann",
+    "clustering",
+    "eval",
+}
+
+_LAZY_ATTRS = {
+    # name -> (module, attribute)
+    "UspIndex": ("repro.core", "UspIndex"),
+    "UspEnsembleIndex": ("repro.core", "UspEnsembleIndex"),
+    "HierarchicalUspIndex": ("repro.core", "HierarchicalUspIndex"),
+    "UspConfig": ("repro.core", "UspConfig"),
+    "load_dataset": ("repro.datasets", "load_dataset"),
+    "knn_accuracy": ("repro.eval", "knn_accuracy"),
+}
+
+__all__ = sorted(_LAZY_SUBMODULES | set(_LAZY_ATTRS) | {"__version__"})
+
+
+def __getattr__(name: str):
+    if name in _LAZY_SUBMODULES:
+        return importlib.import_module(f"repro.{name}")
+    if name in _LAZY_ATTRS:
+        module_name, attr = _LAZY_ATTRS[name]
+        module = importlib.import_module(module_name)
+        return getattr(module, attr)
+    raise AttributeError(f"module 'repro' has no attribute {name!r}")
+
+
+def __dir__():
+    return __all__
+
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from . import ann, baselines, clustering, core, datasets, eval, nn, utils

@@ -1,0 +1,60 @@
+"""Exact brute-force nearest neighbour search.
+
+Used (i) as the gold standard when computing ground truth and recall, and
+(ii) as the final re-ranking step inside every candidate-set based index.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..utils.distances import pairwise_topk
+from ..utils.exceptions import NotFittedError
+from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
+
+
+class BruteForceIndex:
+    """Exact k-NN by scanning the entire dataset."""
+
+    def __init__(self, *, metric: str = "euclidean", block_size: int = 1024) -> None:
+        self.metric = metric
+        self.block_size = int(block_size)
+        self._base: Optional[np.ndarray] = None
+
+    def build(self, base: np.ndarray) -> "BruteForceIndex":
+        """Store the dataset (no preprocessing needed)."""
+        self._base = as_float_matrix(base, name="base")
+        return self
+
+    @property
+    def is_built(self) -> bool:
+        return self._base is not None
+
+    @property
+    def n_points(self) -> int:
+        self._require_built()
+        return int(self._base.shape[0])
+
+    @property
+    def dim(self) -> int:
+        self._require_built()
+        return int(self._base.shape[1])
+
+    def _require_built(self) -> None:
+        if self._base is None:
+            raise NotFittedError("BruteForceIndex has not been built yet")
+
+    def batch_query(self, queries: np.ndarray, k: int = 10) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact top-``k`` indices and distances for each query row."""
+        self._require_built()
+        queries = as_query_matrix(queries, self.dim)
+        k = min(check_positive_int(k, "k"), self.n_points)
+        return pairwise_topk(
+            queries, self._base, k, metric=self.metric, block_size=self.block_size
+        )
+
+    def query(self, query: np.ndarray, k: int = 10) -> Tuple[np.ndarray, np.ndarray]:
+        indices, distances = self.batch_query(np.atleast_2d(query), k)
+        return indices[0], distances[0]

@@ -1,0 +1,154 @@
+"""Data-oblivious LSH baselines: cross-polytope LSH and hyperplane LSH.
+
+These represent the classical, distribution-independent space partitions
+the paper compares against (and beats): they hash points with random
+projections and therefore cannot adapt their bin boundaries to the data.
+
+* :class:`CrossPolytopeLshIndex` — Andoni et al. 2015.  A point is hashed to
+  the index (and sign) of its largest coordinate after a random rotation,
+  giving ``2 * n_projections`` bins.  Multi-probe ranks bins by the signed
+  coordinate values, which is the natural probing sequence.
+* :class:`HyperplaneLshIndex` — classic sign-random-projection hashing with
+  ``n_hyperplanes`` hyperplanes and ``2 ** n_hyperplanes`` bins; multi-probe
+  flips the lowest-margin bits first.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..core.base import PartitionIndexBase
+from ..utils.exceptions import ValidationError
+from ..utils.rng import SeedLike, resolve_rng
+from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
+
+
+def _random_rotation(dim: int, target_dim: int, rng: np.random.Generator) -> np.ndarray:
+    """A random matrix with orthonormal columns mapping R^dim -> R^target_dim."""
+    gaussian = rng.normal(size=(dim, target_dim))
+    q, _ = np.linalg.qr(gaussian)
+    return q[:, :target_dim]
+
+
+class CrossPolytopeLshIndex(PartitionIndexBase):
+    """Cross-polytope LSH partition with ``2 * n_projections`` bins.
+
+    ``n_bins`` must be even; the data is centred (queries use the same
+    shift) so the sign information is meaningful for unnormalised data.
+    """
+
+    def __init__(self, n_bins: int = 16, *, seed: SeedLike = None) -> None:
+        super().__init__()
+        n_bins = check_positive_int(n_bins, "n_bins")
+        if n_bins % 2 != 0:
+            raise ValidationError(f"cross-polytope LSH needs an even n_bins, got {n_bins}")
+        self.n_bins_requested = n_bins
+        self.n_projections = n_bins // 2
+        self._rng = resolve_rng(seed)
+        self._rotation: Optional[np.ndarray] = None
+        self._center: Optional[np.ndarray] = None
+        self.build_seconds: float = 0.0
+
+    def build(self, base: np.ndarray) -> "CrossPolytopeLshIndex":
+        import time
+
+        start = time.perf_counter()
+        base = as_float_matrix(base, name="base")
+        if self.n_projections > base.shape[1]:
+            raise ValidationError(
+                f"n_bins/2={self.n_projections} exceeds data dimension {base.shape[1]}"
+            )
+        self._center = base.mean(axis=0)
+        self._rotation = _random_rotation(base.shape[1], self.n_projections, self._rng)
+        assignments = self.bin_scores_raw(base).argmax(axis=1)
+        self._finalize_build(base, assignments, self.n_bins_requested)
+        self.build_seconds = time.perf_counter() - start
+        return self
+
+    def bin_scores_raw(self, points: np.ndarray) -> np.ndarray:
+        """Signed projection magnitude for every (projection, sign) bin."""
+        if self._rotation is None or self._center is None:
+            raise ValidationError("index must be built before scoring")
+        projected = (np.atleast_2d(points) - self._center) @ self._rotation
+        # Bin 2j   <- +e_j direction, score = +projection_j
+        # Bin 2j+1 <- -e_j direction, score = -projection_j
+        scores = np.empty((projected.shape[0], 2 * self.n_projections), dtype=np.float64)
+        scores[:, 0::2] = projected
+        scores[:, 1::2] = -projected
+        return scores
+
+    def bin_scores(self, queries: np.ndarray) -> np.ndarray:
+        self._require_built()
+        queries = as_query_matrix(queries, self.dim)
+        return self.bin_scores_raw(queries)
+
+    def num_parameters(self) -> int:
+        """Stored parameters: the rotation matrix plus the centring vector."""
+        self._require_built()
+        return int(self._rotation.size + self._center.size)
+
+
+class HyperplaneLshIndex(PartitionIndexBase):
+    """Sign-random-projection LSH with ``2 ** n_hyperplanes`` bins."""
+
+    def __init__(self, n_hyperplanes: int = 4, *, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.n_hyperplanes = check_positive_int(n_hyperplanes, "n_hyperplanes")
+        if self.n_hyperplanes > 20:
+            raise ValidationError("n_hyperplanes > 20 would create too many bins")
+        self._rng = resolve_rng(seed)
+        self._hyperplanes: Optional[np.ndarray] = None
+        self._center: Optional[np.ndarray] = None
+        self.build_seconds: float = 0.0
+
+    @property
+    def n_bins_requested(self) -> int:
+        return 2**self.n_hyperplanes
+
+    def build(self, base: np.ndarray) -> "HyperplaneLshIndex":
+        import time
+
+        start = time.perf_counter()
+        base = as_float_matrix(base, name="base")
+        self._center = base.mean(axis=0)
+        self._hyperplanes = self._rng.normal(size=(base.shape[1], self.n_hyperplanes))
+        self._hyperplanes /= np.linalg.norm(self._hyperplanes, axis=0, keepdims=True)
+        assignments = self._hash(base)
+        self._finalize_build(base, assignments, self.n_bins_requested)
+        self.build_seconds = time.perf_counter() - start
+        return self
+
+    def _margins(self, points: np.ndarray) -> np.ndarray:
+        return (np.atleast_2d(points) - self._center) @ self._hyperplanes
+
+    def _hash(self, points: np.ndarray) -> np.ndarray:
+        bits = (self._margins(points) > 0).astype(np.int64)
+        weights = 1 << np.arange(self.n_hyperplanes, dtype=np.int64)
+        return bits @ weights
+
+    def bin_scores(self, queries: np.ndarray) -> np.ndarray:
+        """Score bins by how little margin must be flipped to reach them.
+
+        The score of bucket ``b`` for query ``q`` is the negated sum of
+        |margin| over the hyperplanes where ``b`` disagrees with ``q``'s own
+        hash — i.e. the standard multi-probe perturbation ordering.
+        """
+        self._require_built()
+        queries = as_query_matrix(queries, self.dim)
+        margins = self._margins(queries)  # (n_q, h)
+        n_bins = self.n_bins_requested
+        bits = np.zeros((n_bins, self.n_hyperplanes), dtype=np.float64)
+        for plane in range(self.n_hyperplanes):
+            bits[:, plane] = (np.arange(n_bins) >> plane) & 1
+        query_bits = (margins > 0).astype(np.float64)  # (n_q, h)
+        abs_margin = np.abs(margins)
+        # disagreement[i, b, plane] = 1 if bucket b differs from query i's bit.
+        disagreement = np.abs(query_bits[:, None, :] - bits[None, :, :])
+        cost = (disagreement * abs_margin[:, None, :]).sum(axis=2)
+        return -cost
+
+    def num_parameters(self) -> int:
+        self._require_built()
+        return int(self._hyperplanes.size + self._center.size)

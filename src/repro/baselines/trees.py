@@ -1,0 +1,225 @@
+"""Hyperplane partitioning trees (the Figure 6 baselines).
+
+All of these methods recursively split the dataset with a hyperplane until
+a target depth is reached, producing ``2 ** depth`` leaf bins.  They differ
+only in how a node picks its hyperplane:
+
+* **PCA tree** — top principal component of the node's points, median split.
+* **Random-projection tree** — random direction, median split.
+* **2-means tree** — direction between the two 2-means centroids, split at
+  the midpoint of the projected centroids.
+* **Learned KD-tree** — the single coordinate axis with the largest
+  variance, median split (the axis-aligned "learned" variant of Cayton &
+  Dasgupta's framework).
+
+Queries are routed with a soft margin (sigmoid of the signed distance to
+each node's hyperplane); the leaf score is the product of the per-node
+probabilities, which yields a natural multi-probe ordering over leaves —
+the same mechanism every other index in this repository uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.base import PartitionIndexBase
+from ..utils.exceptions import ValidationError
+from ..utils.rng import SeedLike, resolve_rng
+from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
+
+#: A split rule maps (points, rng) to a hyperplane (normal, offset):
+#: points with ``x @ normal <= offset`` go left.
+SplitRule = Callable[[np.ndarray, np.random.Generator], Tuple[np.ndarray, float]]
+
+
+@dataclass
+class _SplitNode:
+    normal: Optional[np.ndarray]
+    offset: float
+
+
+class HyperplaneTreeIndex(PartitionIndexBase):
+    """Generic binary hyperplane partitioning tree."""
+
+    #: Temperature for the soft routing probability at query time; the scale
+    #: is relative to the node's margin spread, so it is data-independent.
+    routing_temperature: float = 0.5
+
+    def __init__(self, depth: int = 4, *, seed: SeedLike = None) -> None:
+        super().__init__()
+        self.depth = check_positive_int(depth, "depth")
+        if self.depth > 16:
+            raise ValidationError("depth > 16 would create too many leaves")
+        self._rng = resolve_rng(seed)
+        self._nodes: List[Optional[_SplitNode]] = []
+        self._margin_scales: List[float] = []
+        self.build_seconds: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # split rules (overridden by subclasses)
+    # ------------------------------------------------------------------ #
+    def split_rule(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, float]:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    def build(self, base: np.ndarray) -> "HyperplaneTreeIndex":
+        import time
+
+        start = time.perf_counter()
+        base = as_float_matrix(base, name="base")
+        n_leaves = 2**self.depth
+        n_internal = n_leaves - 1
+        self._nodes = [None] * n_internal
+        self._margin_scales = [1.0] * n_internal
+        assignments = np.zeros(base.shape[0], dtype=np.int64)
+        self._split(base, np.arange(base.shape[0]), 0, 0, assignments)
+        self._finalize_build(base, assignments, n_leaves)
+        self.build_seconds = time.perf_counter() - start
+        return self
+
+    def _split(
+        self,
+        base: np.ndarray,
+        point_indices: np.ndarray,
+        node_id: int,
+        level: int,
+        assignments: np.ndarray,
+    ) -> None:
+        if level == self.depth or point_indices.size == 0:
+            return
+        n_leaves_below = 2 ** (self.depth - level)
+        half = n_leaves_below // 2
+        points = base[point_indices]
+        if point_indices.size < 4:
+            left_mask = np.ones(point_indices.size, dtype=bool)
+        else:
+            normal, offset = self.split_rule(points, self._rng)
+            margins = points @ normal - offset
+            self._nodes[node_id] = _SplitNode(normal=normal, offset=offset)
+            self._margin_scales[node_id] = float(np.std(margins) + 1e-12)
+            left_mask = margins <= 0
+            # Guard against degenerate splits sending everything one way.
+            if left_mask.all() or not left_mask.any():
+                median = np.median(margins)
+                left_mask = margins <= median
+        left = point_indices[left_mask]
+        right = point_indices[~left_mask]
+        assignments[right] += half
+        self._split(base, left, 2 * node_id + 1, level + 1, assignments)
+        self._split(base, right, 2 * node_id + 2, level + 1, assignments)
+
+    # ------------------------------------------------------------------ #
+    def bin_scores(self, queries: np.ndarray) -> np.ndarray:
+        """Soft leaf probabilities from the per-node routing sigmoids."""
+        self._require_built()
+        queries = as_query_matrix(queries, self.dim)
+        n_leaves = 2**self.depth
+        scores = np.ones((queries.shape[0], n_leaves), dtype=np.float64)
+        self._score(queries, 0, 0, 0, n_leaves, scores)
+        return scores
+
+    def _score(
+        self,
+        queries: np.ndarray,
+        node_id: int,
+        level: int,
+        leaf_start: int,
+        leaf_stop: int,
+        scores: np.ndarray,
+    ) -> None:
+        if level == self.depth:
+            return
+        half = (leaf_stop - leaf_start) // 2
+        node = self._nodes[node_id] if node_id < len(self._nodes) else None
+        if node is None or node.normal is None:
+            left_prob = np.full(queries.shape[0], 0.5)
+        else:
+            margins = queries @ node.normal - node.offset
+            scale = self._margin_scales[node_id] * self.routing_temperature
+            left_prob = 1.0 / (1.0 + np.exp(np.clip(margins / max(scale, 1e-12), -30, 30)))
+        scores[:, leaf_start : leaf_start + half] *= left_prob[:, None]
+        scores[:, leaf_start + half : leaf_stop] *= (1.0 - left_prob)[:, None]
+        self._score(queries, 2 * node_id + 1, level + 1, leaf_start, leaf_start + half, scores)
+        self._score(queries, 2 * node_id + 2, level + 1, leaf_start + half, leaf_stop, scores)
+
+    def num_parameters(self) -> int:
+        """Stored parameters: one hyperplane (normal + offset) per internal node."""
+        self._require_built()
+        return int(
+            sum(node.normal.size + 1 for node in self._nodes if node is not None)
+        )
+
+
+class PcaTreeIndex(HyperplaneTreeIndex):
+    """PCA tree: split along the top principal component at the median."""
+
+    def split_rule(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, float]:
+        centered = points - points.mean(axis=0)
+        # Power iteration on the covariance: cheap and sufficient for the
+        # leading component.
+        direction = rng.normal(size=points.shape[1])
+        direction /= np.linalg.norm(direction) + 1e-12
+        for _ in range(15):
+            direction = centered.T @ (centered @ direction)
+            norm = np.linalg.norm(direction)
+            if norm < 1e-12:
+                direction = rng.normal(size=points.shape[1])
+                norm = np.linalg.norm(direction)
+            direction /= norm
+        projections = points @ direction
+        return direction, float(np.median(projections))
+
+
+class RandomProjectionTreeIndex(HyperplaneTreeIndex):
+    """Random projection tree: random direction, median split."""
+
+    def split_rule(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, float]:
+        direction = rng.normal(size=points.shape[1])
+        direction /= np.linalg.norm(direction) + 1e-12
+        projections = points @ direction
+        return direction, float(np.median(projections))
+
+
+class KdTreeIndex(HyperplaneTreeIndex):
+    """Learned KD-tree: axis of maximum variance, median split."""
+
+    def split_rule(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, float]:
+        variances = points.var(axis=0)
+        axis = int(variances.argmax())
+        direction = np.zeros(points.shape[1])
+        direction[axis] = 1.0
+        return direction, float(np.median(points[:, axis]))
+
+
+class TwoMeansTreeIndex(HyperplaneTreeIndex):
+    """2-means tree: hyperplane bisecting the two 2-means centroids."""
+
+    kmeans_iterations: int = 20
+
+    def split_rule(
+        self, points: np.ndarray, rng: np.random.Generator
+    ) -> Tuple[np.ndarray, float]:
+        from .kmeans import KMeans
+
+        model = KMeans(2, max_iterations=self.kmeans_iterations, seed=rng)
+        model.fit(points)
+        c0, c1 = model.centroids
+        direction = c1 - c0
+        norm = np.linalg.norm(direction)
+        if norm < 1e-12:
+            direction = rng.normal(size=points.shape[1])
+            norm = np.linalg.norm(direction)
+        direction /= norm
+        midpoint = 0.5 * (c0 + c1)
+        return direction, float(midpoint @ direction)

@@ -1,0 +1,107 @@
+"""Spectral clustering (Ng, Jordan, Weiss 2001) baseline.
+
+Builds a similarity graph (RBF kernel or k-NN connectivity), forms the
+symmetrically normalised Laplacian, embeds points with its bottom
+eigenvectors, and clusters the embedding with K-means.  As the paper notes,
+this produces excellent non-convex clusters but cannot scale to large
+high-dimensional datasets — which is the opening USP exploits.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..baselines.kmeans import KMeans
+from ..utils.distances import pairwise_topk, squared_euclidean
+from ..utils.exceptions import NotFittedError, ValidationError
+from ..utils.rng import SeedLike
+from ..utils.validation import as_float_matrix, check_positive_int
+
+
+class SpectralClustering:
+    """Normalized-cuts spectral clustering.
+
+    Parameters
+    ----------
+    n_clusters:
+        Number of clusters.
+    affinity:
+        ``"rbf"`` (Gaussian kernel with bandwidth ``gamma``) or
+        ``"knn"`` (symmetrised k-NN connectivity graph).
+    gamma:
+        RBF bandwidth; if ``None`` it is set to ``1 / median squared distance``.
+    n_neighbors:
+        Neighbourhood size for the ``"knn"`` affinity.
+    seed:
+        Seed for the final K-means step.
+    """
+
+    def __init__(
+        self,
+        n_clusters: int,
+        *,
+        affinity: str = "knn",
+        gamma: Optional[float] = None,
+        n_neighbors: int = 10,
+        seed: SeedLike = None,
+    ) -> None:
+        self.n_clusters = check_positive_int(n_clusters, "n_clusters")
+        if affinity not in ("rbf", "knn"):
+            raise ValidationError(f"affinity must be 'rbf' or 'knn', got {affinity!r}")
+        self.affinity = affinity
+        self.gamma = gamma
+        self.n_neighbors = check_positive_int(n_neighbors, "n_neighbors")
+        self.seed = seed
+        self.labels_: Optional[np.ndarray] = None
+        self.embedding_: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    def _affinity_matrix(self, points: np.ndarray) -> np.ndarray:
+        if self.affinity == "rbf":
+            sq = squared_euclidean(points, points)
+            gamma = self.gamma
+            if gamma is None:
+                positive = sq[sq > 0]
+                med = float(np.median(positive)) if positive.size else 1.0
+                gamma = 1.0 / max(med, 1e-12)
+            return np.exp(-gamma * sq)
+        # k-NN connectivity graph, symmetrised.
+        k = min(self.n_neighbors, points.shape[0] - 1)
+        indices, _ = pairwise_topk(points, points, k, exclude_self=True)
+        n = points.shape[0]
+        affinity = np.zeros((n, n), dtype=np.float64)
+        rows = np.repeat(np.arange(n), k)
+        affinity[rows, indices.reshape(-1)] = 1.0
+        return np.maximum(affinity, affinity.T)
+
+    def fit(self, points) -> "SpectralClustering":
+        """Cluster ``points`` via the normalised Laplacian embedding."""
+        points = as_float_matrix(points)
+        if self.n_clusters > points.shape[0]:
+            raise ValidationError("n_clusters cannot exceed the number of points")
+        affinity = self._affinity_matrix(points)
+        np.fill_diagonal(affinity, 0.0)
+        degrees = affinity.sum(axis=1)
+        inv_sqrt = 1.0 / np.sqrt(np.maximum(degrees, 1e-12))
+        normalized = affinity * inv_sqrt[:, None] * inv_sqrt[None, :]
+        # Bottom eigenvectors of L_sym = I - normalized correspond to the top
+        # eigenvectors of `normalized`.
+        eigenvalues, eigenvectors = np.linalg.eigh(normalized)
+        embedding = eigenvectors[:, -self.n_clusters :]
+        norms = np.linalg.norm(embedding, axis=1, keepdims=True)
+        embedding = embedding / np.maximum(norms, 1e-12)
+        self.embedding_ = embedding
+        kmeans = KMeans(self.n_clusters, n_init=5, seed=self.seed).fit(embedding)
+        self.labels_ = kmeans.labels
+        return self
+
+    def fit_predict(self, points) -> np.ndarray:
+        return self.fit(points).labels
+
+    @property
+    def labels(self) -> np.ndarray:
+        if self.labels_ is None:
+            raise NotFittedError("SpectralClustering has not been fitted yet")
+        return self.labels_

@@ -1,0 +1,58 @@
+"""Core USP library: the paper's primary contribution.
+
+* :class:`UspConfig`, :class:`EnsembleConfig`, :class:`HierarchicalConfig`
+  — hyper-parameter dataclasses.
+* :func:`build_knn_matrix` / :class:`KnnMatrix` — the only preprocessing.
+* :func:`usp_loss` and friends — the unsupervised partition loss.
+* :class:`UspIndex` — single-model index (Algorithms 1 & 2).
+* :class:`UspEnsembleIndex` — boosted ensemble (Algorithms 3 & 4).
+* :class:`HierarchicalUspIndex` — hierarchical partitioning.
+"""
+
+from .base import PartitionIndexBase, rerank_candidates
+from .config import EnsembleConfig, HierarchicalConfig, UspConfig
+from .ensemble import UspEnsembleIndex, boosting_weights
+from .hierarchical import HierarchicalUspIndex
+from .index import UspIndex
+from .knn_matrix import KnnMatrix, build_knn_matrix
+from .loss import (
+    LossBreakdown,
+    balance_cost,
+    entropy_balance_cost,
+    neighbor_bin_distribution,
+    quality_cost,
+    usp_loss,
+)
+from .models import (
+    PartitionModel,
+    build_logistic_module,
+    build_mlp_module,
+    build_partition_model,
+)
+from .trainer import TrainingHistory, UspTrainer
+
+__all__ = [
+    "PartitionIndexBase",
+    "rerank_candidates",
+    "EnsembleConfig",
+    "HierarchicalConfig",
+    "UspConfig",
+    "UspEnsembleIndex",
+    "boosting_weights",
+    "HierarchicalUspIndex",
+    "UspIndex",
+    "KnnMatrix",
+    "build_knn_matrix",
+    "LossBreakdown",
+    "balance_cost",
+    "entropy_balance_cost",
+    "neighbor_bin_distribution",
+    "quality_cost",
+    "usp_loss",
+    "PartitionModel",
+    "build_logistic_module",
+    "build_mlp_module",
+    "build_partition_model",
+    "TrainingHistory",
+    "UspTrainer",
+]

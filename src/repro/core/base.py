@@ -1,0 +1,192 @@
+"""Common interface for every partition-based ANN index in this repository.
+
+The paper compares many space-partitioning methods (USP, Neural LSH,
+K-means, LSH, trees, ...).  All of them share the same online behaviour
+(Algorithm 2): rank the bins for a query, collect the points of the ``m'``
+most probable bins into a candidate set, and brute-force search within it.
+:class:`PartitionIndexBase` implements that shared online phase once; each
+method only supplies how bins are ranked for a query (and how the dataset
+was assigned to bins during the offline phase).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.distances import get_metric
+from ..utils.exceptions import NotFittedError, ValidationError
+from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
+
+
+def rerank_candidates(
+    base: np.ndarray,
+    queries: np.ndarray,
+    candidate_lists: Sequence[np.ndarray],
+    k: int,
+    *,
+    metric: str = "euclidean",
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Exactly re-rank per-query candidate index lists against ``base``.
+
+    Shared by every partition index and by the ensemble: given the candidate
+    set of each query, compute exact distances and keep the best ``k``.
+    Rows are padded with ``-1`` / ``inf`` when fewer than ``k`` candidates
+    are available.
+    """
+    metric_fn = get_metric(metric)
+    queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    out_indices = np.full((queries.shape[0], k), -1, dtype=np.int64)
+    out_distances = np.full((queries.shape[0], k), np.inf, dtype=np.float64)
+    for i, candidates in enumerate(candidate_lists):
+        candidates = np.asarray(candidates, dtype=np.int64)
+        if candidates.size == 0:
+            continue
+        dists = metric_fn(queries[i : i + 1], base[candidates])[0]
+        top = min(k, candidates.size)
+        part = np.argpartition(dists, kth=top - 1)[:top]
+        order = part[np.argsort(dists[part], kind="stable")]
+        out_indices[i, :top] = candidates[order]
+        out_distances[i, :top] = dists[order]
+    return out_indices, out_distances
+
+
+class PartitionIndexBase:
+    """Base class: stores the dataset, bin assignments, and a lookup table.
+
+    Subclasses must call :meth:`_finalize_build` at the end of their
+    ``build`` method and implement :meth:`bin_scores`.
+    """
+
+    #: metric used for the final candidate re-ranking
+    metric: str = "euclidean"
+
+    def __init__(self) -> None:
+        self._base: Optional[np.ndarray] = None
+        self._assignments: Optional[np.ndarray] = None
+        self._lookup: Optional[List[np.ndarray]] = None
+        self._n_bins: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # offline phase plumbing
+    # ------------------------------------------------------------------ #
+    def _finalize_build(self, base: np.ndarray, assignments: np.ndarray, n_bins: int) -> None:
+        """Store the dataset and build the bin -> point-indices lookup table."""
+        base = as_float_matrix(base, name="base")
+        assignments = np.asarray(assignments, dtype=np.int64).reshape(-1)
+        if assignments.shape[0] != base.shape[0]:
+            raise ValidationError("assignments must have one entry per base point")
+        if assignments.min() < 0 or assignments.max() >= n_bins:
+            raise ValidationError("assignments contain bin ids outside [0, n_bins)")
+        self._base = base
+        self._assignments = assignments
+        self._n_bins = int(n_bins)
+        lookup: List[np.ndarray] = []
+        order = np.argsort(assignments, kind="stable")
+        sorted_bins = assignments[order]
+        boundaries = np.searchsorted(sorted_bins, np.arange(n_bins + 1))
+        for bin_id in range(n_bins):
+            lookup.append(order[boundaries[bin_id] : boundaries[bin_id + 1]])
+        self._lookup = lookup
+
+    def _require_built(self) -> None:
+        if self._base is None or self._lookup is None:
+            raise NotFittedError(f"{type(self).__name__} has not been built yet")
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_built(self) -> bool:
+        return self._base is not None
+
+    @property
+    def n_points(self) -> int:
+        self._require_built()
+        return int(self._base.shape[0])
+
+    @property
+    def dim(self) -> int:
+        self._require_built()
+        return int(self._base.shape[1])
+
+    @property
+    def n_bins(self) -> int:
+        self._require_built()
+        return int(self._n_bins)
+
+    @property
+    def assignments(self) -> np.ndarray:
+        """Bin id of every base point."""
+        self._require_built()
+        return self._assignments
+
+    def bin_sizes(self) -> np.ndarray:
+        """Number of points per bin."""
+        self._require_built()
+        return np.array([len(bucket) for bucket in self._lookup], dtype=np.int64)
+
+    def points_in_bin(self, bin_id: int) -> np.ndarray:
+        """Indices of the base points assigned to ``bin_id``."""
+        self._require_built()
+        if not 0 <= bin_id < self._n_bins:
+            raise ValidationError(f"bin_id {bin_id} out of range [0, {self._n_bins})")
+        return self._lookup[bin_id]
+
+    def num_parameters(self) -> int:
+        """Learnable/stored parameter count (Table 2); overridden by learners."""
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # online phase (Algorithm 2)
+    # ------------------------------------------------------------------ #
+    def bin_scores(self, queries: np.ndarray) -> np.ndarray:
+        """Score of each bin for each query, higher = more likely.
+
+        Must be implemented by subclasses; shape ``(n_queries, n_bins)``.
+        """
+        raise NotImplementedError
+
+    def ranked_bins(self, queries: np.ndarray) -> np.ndarray:
+        """Bins ordered from most to least probable for each query."""
+        scores = self.bin_scores(queries)
+        return np.argsort(-scores, axis=1, kind="stable")
+
+    def candidate_sets(self, queries: np.ndarray, n_probes: int = 1) -> List[np.ndarray]:
+        """Candidate point indices for each query from its top ``n_probes`` bins."""
+        self._require_built()
+        queries = as_query_matrix(queries, self.dim)
+        n_probes = min(check_positive_int(n_probes, "n_probes"), self.n_bins)
+        ranked = self.ranked_bins(queries)[:, :n_probes]
+        candidates: List[np.ndarray] = []
+        for row in ranked:
+            buckets = [self._lookup[bin_id] for bin_id in row]
+            candidates.append(
+                np.concatenate(buckets) if buckets else np.empty(0, dtype=np.int64)
+            )
+        return candidates
+
+    def query(
+        self, query: np.ndarray, k: int = 10, *, n_probes: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Return the approximate ``k`` nearest base indices and distances."""
+        indices, distances = self.batch_query(np.atleast_2d(query), k, n_probes=n_probes)
+        return indices[0], distances[0]
+
+    def batch_query(
+        self, queries: np.ndarray, k: int = 10, *, n_probes: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Vectorised :meth:`query` over many queries.
+
+        Returns ``(indices, distances)`` arrays of shape ``(n_queries, k)``;
+        rows are padded with ``-1`` / ``inf`` when a candidate set holds
+        fewer than ``k`` points.
+        """
+        self._require_built()
+        queries = as_query_matrix(queries, self.dim)
+        check_positive_int(k, "k")
+        candidate_lists = self.candidate_sets(queries, n_probes)
+        return rerank_candidates(
+            self._base, queries, candidate_lists, k, metric=self.metric
+        )

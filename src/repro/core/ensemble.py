@@ -1,0 +1,194 @@
+"""Boosted ensemble of USP partitions (Section 4.4.1, Algorithms 3 and 4).
+
+The ensemble trains ``e`` partition models sequentially.  Every point
+starts with weight 1; after each model is trained, a point's weight is
+multiplied by the number of its ``k'`` nearest neighbours that the model
+separated from it, so later models focus on the points earlier models
+placed badly.  At query time each model reports a confidence (its highest
+bin probability); the candidate set of the most confident model is searched
+(Algorithm 4).  A "union" combination mode is provided as an extension.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.exceptions import NotFittedError
+from ..utils.rng import spawn_rngs
+from ..utils.timing import Stopwatch
+from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
+from .base import rerank_candidates
+from .config import EnsembleConfig, UspConfig
+from .index import UspIndex
+from .knn_matrix import KnnMatrix, build_knn_matrix
+
+
+def boosting_weights(
+    assignments: np.ndarray,
+    knn: KnnMatrix,
+    previous_weights: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Update per-point weights from a trained partition (Algorithm 3, step b).
+
+    For point ``i`` the new raw weight is the number of its ``k'`` nearest
+    neighbours assigned to a *different* bin; it is multiplied by the
+    previous weight so only points that every earlier model handled badly
+    keep large weights.
+    """
+    assignments = np.asarray(assignments, dtype=np.int64)
+    neighbor_bins = assignments[knn.indices]  # (n, k')
+    mismatches = (neighbor_bins != assignments[:, None]).sum(axis=1).astype(np.float64)
+    if previous_weights is None:
+        return mismatches
+    previous_weights = np.asarray(previous_weights, dtype=np.float64)
+    return mismatches * previous_weights
+
+
+class UspEnsembleIndex:
+    """Ensemble of :class:`UspIndex` members with boosting weights.
+
+    The public API mirrors :class:`~repro.core.base.PartitionIndexBase`
+    (``build`` / ``query`` / ``batch_query`` / ``candidate_sets``) so the
+    evaluation harness can treat single models and ensembles uniformly.
+    """
+
+    def __init__(
+        self,
+        config: Optional[EnsembleConfig] = None,
+        *,
+        n_models: Optional[int] = None,
+        base_config: Optional[UspConfig] = None,
+    ) -> None:
+        if config is None:
+            config = EnsembleConfig(
+                n_models=n_models or 3, base=base_config or UspConfig()
+            )
+        elif n_models is not None or base_config is not None:
+            config = EnsembleConfig(
+                n_models=n_models or config.n_models,
+                base=base_config or config.base,
+                combination=config.combination,
+            )
+        self.config = config
+        self.metric = config.base.metric
+        self.members: List[UspIndex] = []
+        self.weight_history: List[np.ndarray] = []
+        self.knn: Optional[KnnMatrix] = None
+        self.build_seconds: float = 0.0
+        self._base: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------ #
+    # offline phase (Algorithm 3)
+    # ------------------------------------------------------------------ #
+    def build(self, base: np.ndarray, *, knn: Optional[KnnMatrix] = None) -> "UspEnsembleIndex":
+        """Train all ensemble members sequentially with boosting weights."""
+        base = as_float_matrix(base, name="base")
+        config = self.config
+        stopwatch = Stopwatch()
+        with stopwatch.section("build"):
+            if knn is None:
+                knn = build_knn_matrix(base, config.base.k_prime, metric=config.base.metric)
+            self.knn = knn
+            rngs = spawn_rngs(config.base.seed, config.n_models)
+            weights = np.ones(base.shape[0], dtype=np.float64)
+            self.members = []
+            self.weight_history = []
+            for j in range(config.n_models):
+                member_seed = int(rngs[j].integers(0, 2**31 - 1))
+                member_config = config.base.with_updates(seed=member_seed)
+                member = UspIndex(member_config)
+                # All points zero-weighted (perfect previous partition) would
+                # make the quality term vanish; fall back to uniform weights.
+                effective = weights if weights.sum() > 0 else None
+                member.build(base, knn=knn, point_weights=effective)
+                self.members.append(member)
+                self.weight_history.append(weights.copy())
+                weights = boosting_weights(member.assignments, knn, weights)
+        self._base = base
+        self.build_seconds = stopwatch.totals()["build"]
+        return self
+
+    # ------------------------------------------------------------------ #
+    # online phase (Algorithm 4)
+    # ------------------------------------------------------------------ #
+    def _require_built(self) -> None:
+        if not self.members or self._base is None:
+            raise NotFittedError("UspEnsembleIndex has not been built yet")
+
+    @property
+    def is_built(self) -> bool:
+        return bool(self.members) and self._base is not None
+
+    @property
+    def n_models(self) -> int:
+        return len(self.members)
+
+    @property
+    def dim(self) -> int:
+        self._require_built()
+        return int(self._base.shape[1])
+
+    @property
+    def n_points(self) -> int:
+        self._require_built()
+        return int(self._base.shape[0])
+
+    @property
+    def n_bins(self) -> int:
+        self._require_built()
+        return self.members[0].n_bins
+
+    def confidences(self, queries: np.ndarray) -> np.ndarray:
+        """Confidence value of every member for every query: ``(n_q, e)``."""
+        self._require_built()
+        queries = as_query_matrix(queries, self.dim)
+        return np.column_stack([member.confidence(queries) for member in self.members])
+
+    def best_members(self, queries: np.ndarray) -> np.ndarray:
+        """Index of the most confident member per query (Algorithm 4, step 4)."""
+        return self.confidences(queries).argmax(axis=1)
+
+    def candidate_sets(self, queries: np.ndarray, n_probes: int = 1) -> List[np.ndarray]:
+        """Candidate set per query, combined across members per the config."""
+        self._require_built()
+        queries = as_query_matrix(queries, self.dim)
+        check_positive_int(n_probes, "n_probes")
+        per_member = [member.candidate_sets(queries, n_probes) for member in self.members]
+        if self.config.combination == "union":
+            return [
+                np.unique(np.concatenate([per_member[m][i] for m in range(self.n_models)]))
+                for i in range(queries.shape[0])
+            ]
+        best = self.best_members(queries)
+        return [per_member[int(best[i])][i] for i in range(queries.shape[0])]
+
+    def batch_query(
+        self, queries: np.ndarray, k: int = 10, *, n_probes: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Approximate ``k``-NN for each query via the ensemble candidate sets."""
+        self._require_built()
+        queries = as_query_matrix(queries, self.dim)
+        check_positive_int(k, "k")
+        candidates = self.candidate_sets(queries, n_probes)
+        return rerank_candidates(self._base, queries, candidates, k, metric=self.metric)
+
+    def query(
+        self, query: np.ndarray, k: int = 10, *, n_probes: int = 1
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        indices, distances = self.batch_query(np.atleast_2d(query), k, n_probes=n_probes)
+        return indices[0], distances[0]
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def num_parameters(self) -> int:
+        """Total learnable parameters across all members."""
+        self._require_built()
+        return int(sum(member.num_parameters() for member in self.members))
+
+    def training_seconds(self) -> float:
+        """Total wall-clock training time across members (Table 3)."""
+        self._require_built()
+        return float(sum(member.training_seconds() for member in self.members))

@@ -1,0 +1,202 @@
+"""Hierarchical partitioning (Section 4.4.2).
+
+For large bin counts the paper trains a tree of small models instead of one
+big model: the root splits the dataset into ``m_1`` bins, each bin is split
+again into ``m_2`` bins, and so on; a query's probability of landing in a
+leaf bin is the product of the per-level probabilities along the path.
+
+The same machinery, instantiated with logistic-regression models and
+branching factor 2, gives the binary partitioning trees compared against
+Regression LSH / PCA trees / random-projection trees in Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.exceptions import NotFittedError
+from ..utils.rng import resolve_rng, spawn_rngs
+from ..utils.timing import Stopwatch
+from ..utils.validation import as_float_matrix, as_query_matrix
+from .base import PartitionIndexBase
+from .config import HierarchicalConfig, UspConfig
+from .knn_matrix import build_knn_matrix
+from .models import PartitionModel
+from .trainer import UspTrainer
+
+
+@dataclass
+class _TreeNode:
+    """One internal model of the hierarchy plus its children (if any)."""
+
+    model: Optional[PartitionModel]  # None for degenerate single-bin nodes
+    n_branches: int
+    children: List[Optional["_TreeNode"]]
+    n_parameters: int = 0
+
+    def branch_probabilities(self, queries: np.ndarray) -> np.ndarray:
+        """Probability of each query going to each branch of this node."""
+        if self.model is None:
+            return np.ones((queries.shape[0], self.n_branches), dtype=np.float64) / float(
+                self.n_branches
+            )
+        return self.model.predict_proba(queries)
+
+
+class HierarchicalUspIndex(PartitionIndexBase):
+    """A tree of USP partition models producing ``prod(levels)`` leaf bins."""
+
+    def __init__(self, config: Optional[HierarchicalConfig] = None) -> None:
+        super().__init__()
+        self.config = config or HierarchicalConfig()
+        self.metric = self.config.base.metric
+        self._root: Optional[_TreeNode] = None
+        self.build_seconds: float = 0.0
+        self.training_time: float = 0.0
+
+    # ------------------------------------------------------------------ #
+    # offline phase
+    # ------------------------------------------------------------------ #
+    def build(self, base: np.ndarray) -> "HierarchicalUspIndex":
+        """Recursively train the model tree and assign every point to a leaf."""
+        base = as_float_matrix(base, name="base")
+        stopwatch = Stopwatch()
+        self.training_time = 0.0
+        with stopwatch.section("build"):
+            rng = resolve_rng(self.config.base.seed)
+            point_indices = np.arange(base.shape[0])
+            self._root, assignments = self._build_node(
+                base, point_indices, level=0, rng=rng
+            )
+            self._finalize_build(base, assignments, self.config.total_bins)
+        self.build_seconds = stopwatch.totals()["build"]
+        return self
+
+    def _build_node(
+        self,
+        base: np.ndarray,
+        point_indices: np.ndarray,
+        level: int,
+        rng: np.random.Generator,
+    ) -> Tuple[_TreeNode, np.ndarray]:
+        """Train the node for ``point_indices`` and return (node, leaf ids).
+
+        The returned leaf ids are *local* to this subtree: in
+        ``[0, prod(levels[level:]))``, one per entry of ``point_indices``.
+        """
+        levels = self.config.levels
+        branches = levels[level]
+        subtree_bins = int(np.prod(levels[level:]))
+        child_bins = subtree_bins // branches
+        points = base[point_indices]
+
+        node, branch_assignment = self._train_single_level(points, branches, rng)
+
+        if level == len(levels) - 1:
+            return node, branch_assignment.astype(np.int64)
+
+        leaf_assignment = np.zeros(len(point_indices), dtype=np.int64)
+        child_rngs = spawn_rngs(int(rng.integers(0, 2**31 - 1)), branches)
+        for branch in range(branches):
+            mask = branch_assignment == branch
+            offset = branch * child_bins
+            if not mask.any():
+                node.children[branch] = None
+                continue
+            child_node, child_leaves = self._build_node(
+                base, point_indices[mask], level + 1, child_rngs[branch]
+            )
+            node.children[branch] = child_node
+            leaf_assignment[mask] = offset + child_leaves
+        return node, leaf_assignment
+
+    def _train_single_level(
+        self, points: np.ndarray, branches: int, rng: np.random.Generator
+    ) -> Tuple[_TreeNode, np.ndarray]:
+        """Train one model splitting ``points`` into ``branches`` bins."""
+        n = points.shape[0]
+        # Degenerate subsets: too few points to learn a split — put
+        # everything in branch 0 and use uniform probabilities at query time.
+        if n < max(2 * branches, 4):
+            node = _TreeNode(model=None, n_branches=branches, children=[None] * branches)
+            return node, np.zeros(n, dtype=np.int64)
+
+        base_config = self.config.base
+        k_prime = min(base_config.k_prime, n - 1)
+        config = base_config.with_updates(
+            n_bins=branches,
+            k_prime=k_prime,
+            seed=int(rng.integers(0, 2**31 - 1)),
+        )
+        knn = build_knn_matrix(points, k_prime, metric=config.metric)
+        trainer = UspTrainer(config)
+        model, history = trainer.train(points, knn)
+        self.training_time += history.seconds
+        assignment = model.predict_bins(points)
+        node = _TreeNode(
+            model=model,
+            n_branches=branches,
+            children=[None] * branches,
+            n_parameters=model.num_parameters(),
+        )
+        return node, assignment
+
+    # ------------------------------------------------------------------ #
+    # online phase
+    # ------------------------------------------------------------------ #
+    def bin_scores(self, queries: np.ndarray) -> np.ndarray:
+        """Leaf probabilities: the product of branch probabilities on the path."""
+        if self._root is None:
+            raise NotFittedError("HierarchicalUspIndex has not been built yet")
+        queries = as_query_matrix(queries, self.dim)
+        return self._scores_for_node(self._root, queries, level=0)
+
+    def _scores_for_node(
+        self, node: _TreeNode, queries: np.ndarray, level: int
+    ) -> np.ndarray:
+        levels = self.config.levels
+        branches = levels[level]
+        subtree_bins = int(np.prod(levels[level:]))
+        child_bins = subtree_bins // branches
+        branch_probs = node.branch_probabilities(queries)
+        if level == len(levels) - 1:
+            return branch_probs
+        scores = np.zeros((queries.shape[0], subtree_bins), dtype=np.float64)
+        for branch in range(branches):
+            child = node.children[branch]
+            start = branch * child_bins
+            stop = start + child_bins
+            if child is None:
+                # Empty/degenerate branch: spread its probability uniformly
+                # over the leaves below it so ranking still works.
+                scores[:, start:stop] = branch_probs[:, branch : branch + 1] / child_bins
+                continue
+            child_scores = self._scores_for_node(child, queries, level + 1)
+            scores[:, start:stop] = branch_probs[:, branch : branch + 1] * child_scores
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def num_parameters(self) -> int:
+        """Total learnable parameters over every model in the tree."""
+        if self._root is None:
+            raise NotFittedError("HierarchicalUspIndex has not been built yet")
+        total = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            total += node.n_parameters
+            stack.extend(child for child in node.children if child is not None)
+        return int(total)
+
+    def depth(self) -> int:
+        """Number of levels in the hierarchy."""
+        return len(self.config.levels)
+
+    def training_seconds(self) -> float:
+        """Total wall-clock seconds spent training tree models."""
+        return self.training_time

@@ -1,0 +1,92 @@
+"""The k'-NN matrix (Section 4.2.1).
+
+The only preprocessing USP requires: for every point ``p_i`` in the dataset,
+the indices of its ``k'`` true nearest neighbours.  It is the adjacency-list
+representation of the k'-NN graph and is computed once, in a blocked
+brute-force pass over the dataset.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..utils.distances import pairwise_topk
+from ..utils.exceptions import ValidationError
+from ..utils.validation import as_float_matrix, check_positive_int
+
+
+@dataclass
+class KnnMatrix:
+    """Indices (and distances) of each point's ``k'`` nearest neighbours."""
+
+    indices: np.ndarray
+    distances: Optional[np.ndarray] = None
+
+    def __post_init__(self) -> None:
+        self.indices = np.asarray(self.indices, dtype=np.int64)
+        if self.indices.ndim != 2:
+            raise ValidationError("k'-NN indices must be a 2-D array")
+        if self.distances is not None:
+            self.distances = np.asarray(self.distances, dtype=np.float64)
+            if self.distances.shape != self.indices.shape:
+                raise ValidationError("distances must match the shape of indices")
+
+    @property
+    def n_points(self) -> int:
+        return int(self.indices.shape[0])
+
+    @property
+    def k_prime(self) -> int:
+        return int(self.indices.shape[1])
+
+    def neighbors_of(self, point_index: int) -> np.ndarray:
+        """Indices of the ``k'`` nearest neighbours of point ``point_index``."""
+        return self.indices[point_index]
+
+    def gather(self, point_indices: np.ndarray) -> np.ndarray:
+        """Neighbour index rows for a batch of points: ``(batch, k')``."""
+        return self.indices[np.asarray(point_indices, dtype=np.int64)]
+
+    def as_graph_edges(self) -> np.ndarray:
+        """Return the directed k'-NN graph as an ``(n * k', 2)`` edge array.
+
+        Used by the Neural LSH baseline, whose first stage partitions this
+        graph with a balanced combinatorial partitioner.
+        """
+        sources = np.repeat(np.arange(self.n_points, dtype=np.int64), self.k_prime)
+        targets = self.indices.reshape(-1)
+        return np.column_stack([sources, targets])
+
+
+def build_knn_matrix(
+    points,
+    k_prime: int = 10,
+    *,
+    metric: str = "euclidean",
+    block_size: int = 1024,
+    keep_distances: bool = False,
+) -> KnnMatrix:
+    """Build the k'-NN matrix for ``points`` by blocked exact search.
+
+    Each point is excluded from its own neighbour list, matching the paper's
+    Figure 2 where row ``i`` lists the neighbours of ``p_i`` other than
+    itself.
+    """
+    points = as_float_matrix(points)
+    check_positive_int(k_prime, "k_prime")
+    if k_prime >= len(points):
+        raise ValidationError(
+            f"k_prime={k_prime} must be smaller than the number of points ({len(points)})"
+        )
+    indices, distances = pairwise_topk(
+        points,
+        points,
+        k_prime,
+        metric=metric,
+        block_size=block_size,
+        exclude_self=True,
+    )
+    return KnnMatrix(indices=indices, distances=distances if keep_distances else None)

@@ -1,0 +1,187 @@
+"""The USP loss function (Section 4.2.2).
+
+The loss scores a candidate partition without any ground-truth labels.  It
+has two differentiable terms computed over a mini-batch of points:
+
+* **Quality cost** ``U(R)`` (Eq. 2 / Eq. 10): for each batch point ``p_i``,
+  the cross entropy between the model's bin distribution ``M(p_i)`` and the
+  empirical distribution ``B_k'(p_i)`` of its ``k'`` nearest neighbours over
+  the bins (the neighbours' own most-likely bins, treated as constants).
+  Minimising it pulls a point into the same bin(s) as its neighbours, which
+  directly maximises the chance that a query's candidate set contains its
+  true nearest neighbours.
+
+* **Balance / computation cost** ``S(R)`` (Eq. 12–13): the negated sum of
+  the top ``batch/m`` softmax probabilities in every bin column.  When every
+  bin can claim ``batch/m`` points with high confidence the partition is
+  balanced, which keeps candidate sets (and therefore query time) small.
+
+The combined objective is ``U(R) + eta * S(R)`` (Eq. 5).  Per-point weights
+(Eq. 14) plug into the quality term to support the boosting ensemble.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Tensor, soft_cross_entropy
+from ..utils.exceptions import ValidationError
+
+
+def neighbor_bin_distribution(
+    neighbor_bins: np.ndarray,
+    n_bins: int,
+    *,
+    soft: bool = True,
+) -> np.ndarray:
+    """Empirical bin distribution of each point's neighbours (Eq. 9).
+
+    Parameters
+    ----------
+    neighbor_bins:
+        ``(batch, k')`` integer array: the most-likely bin of each of the
+        ``k'`` neighbours of every batch point.
+    n_bins:
+        Number of bins ``m``.
+    soft:
+        If True return the full proportion vector ``B_k'(p_i)`` (the paper's
+        soft target).  If False return a one-hot row for the single majority
+        bin (used by the hard-label ablation).
+
+    Returns
+    -------
+    ``(batch, n_bins)`` rows summing to one.
+    """
+    neighbor_bins = np.asarray(neighbor_bins, dtype=np.int64)
+    if neighbor_bins.ndim != 2:
+        raise ValidationError("neighbor_bins must be 2-dimensional (batch, k')")
+    if neighbor_bins.min(initial=0) < 0 or neighbor_bins.max(initial=0) >= n_bins:
+        raise ValidationError("neighbor_bins contains bin ids outside [0, n_bins)")
+    batch, k_prime = neighbor_bins.shape
+    counts = np.zeros((batch, n_bins), dtype=np.float64)
+    rows = np.repeat(np.arange(batch), k_prime)
+    np.add.at(counts, (rows, neighbor_bins.reshape(-1)), 1.0)
+    if not soft:
+        majority = counts.argmax(axis=1)
+        counts = np.zeros_like(counts)
+        counts[np.arange(batch), majority] = 1.0
+        return counts
+    return counts / float(k_prime)
+
+
+def quality_cost(
+    logits: Tensor,
+    soft_targets: np.ndarray,
+    *,
+    weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Quality cost ``U(R)`` for a batch (Eq. 10, weighted form Eq. 14)."""
+    return soft_cross_entropy(logits, soft_targets, weights=weights)
+
+
+def balance_cost(probabilities: Tensor, n_bins: int) -> Tensor:
+    """Computation cost ``S(R)`` for a batch (Eq. 12–13), normalised to [-1, 0].
+
+    The window ``w`` keeps the top ``batch/m`` probabilities per bin column;
+    the cost is the negated window sum divided by the batch size, so a
+    perfectly balanced, perfectly confident partition scores exactly ``-1``.
+    """
+    batch = probabilities.shape[0]
+    if probabilities.ndim != 2 or probabilities.shape[1] != n_bins:
+        raise ValidationError(
+            f"probabilities must have shape (batch, {n_bins}), got {probabilities.shape}"
+        )
+    window = max(1, batch // n_bins)
+    values = probabilities.data
+    mask = np.zeros_like(values)
+    # Select the `window` largest entries in each column.
+    top_rows = np.argpartition(-values, kth=window - 1, axis=0)[:window, :]
+    cols = np.tile(np.arange(n_bins), (window, 1))
+    mask[top_rows, cols] = 1.0
+    selected = probabilities * Tensor(mask)
+    return -(selected.sum() / float(batch))
+
+
+def entropy_balance_cost(probabilities: Tensor, n_bins: int) -> Tensor:
+    """Ablation alternative to the paper's window cost.
+
+    Negated entropy of the *average* bin assignment distribution; maximal
+    entropy (uniform usage of all bins) gives the minimum value
+    ``-log(n_bins)``.
+    """
+    if probabilities.ndim != 2 or probabilities.shape[1] != n_bins:
+        raise ValidationError(
+            f"probabilities must have shape (batch, {n_bins}), got {probabilities.shape}"
+        )
+    mean_assignment = probabilities.mean(axis=0)
+    eps = 1e-12
+    return (mean_assignment * (mean_assignment + eps).log()).sum()
+
+
+@dataclass
+class LossBreakdown:
+    """The scalar pieces of one loss evaluation (for logging and tests)."""
+
+    total: float
+    quality: float
+    balance: float
+
+
+def usp_loss(
+    logits: Tensor,
+    neighbor_bins: np.ndarray,
+    n_bins: int,
+    eta: float,
+    *,
+    weights: Optional[np.ndarray] = None,
+    soft_labels: bool = True,
+    balance_term: str = "topk",
+) -> tuple[Tensor, LossBreakdown]:
+    """Combined USP objective ``U(R) + eta * S(R)`` (Eq. 5) for one batch.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, n_bins)`` model outputs for the batch points (pre-softmax).
+    neighbor_bins:
+        ``(batch, k')`` most-likely bins of each batch point's neighbours
+        (computed with a detached forward pass; constants w.r.t. the loss).
+    n_bins, eta:
+        Partition size ``m`` and balance weight.
+    weights:
+        Optional per-point boosting weights (Eq. 14).
+    soft_labels:
+        Use the neighbour bin *distribution* (paper) or the majority bin
+        only (ablation).
+    balance_term:
+        ``"topk"`` (paper), ``"entropy"`` (ablation), or ``"none"``.
+
+    Returns
+    -------
+    (loss, breakdown):
+        ``loss`` is the scalar tensor to backpropagate; ``breakdown`` holds
+        the detached component values.
+    """
+    targets = neighbor_bin_distribution(neighbor_bins, n_bins, soft=soft_labels)
+    quality = quality_cost(logits, targets, weights=weights)
+    if balance_term == "none" or eta == 0.0:
+        balance = Tensor(0.0)
+        total = quality
+    else:
+        probabilities = logits.softmax(axis=-1)
+        if balance_term == "topk":
+            balance = balance_cost(probabilities, n_bins)
+        elif balance_term == "entropy":
+            balance = entropy_balance_cost(probabilities, n_bins)
+        else:
+            raise ValidationError(f"unknown balance_term {balance_term!r}")
+        total = quality + balance * float(eta)
+    breakdown = LossBreakdown(
+        total=float(total.data),
+        quality=float(quality.data),
+        balance=float(balance.data),
+    )
+    return total, breakdown

@@ -1,0 +1,130 @@
+"""Partition models (Section 5.2).
+
+Two architectures are used in the paper:
+
+* a small neural network — Linear → BatchNorm → ReLU → Dropout → Linear —
+  with a softmax output over the ``m`` bins, and
+* a plain logistic regression (softmax regression) model, used for the
+  hyperplane/tree comparison where each model splits the data into 2 bins.
+
+Both are wrapped in :class:`PartitionModel`, which adds batched inference
+helpers that return numpy bin probabilities for downstream (non-autodiff)
+consumers such as the lookup table and the query path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from ..nn import Dropout, Linear, Module, ReLU, Sequential, Tensor
+from ..nn.layers import BatchNorm1d
+from ..utils.exceptions import ConfigurationError, NotFittedError
+from ..utils.rng import SeedLike, resolve_rng
+from .config import UspConfig
+
+
+class PartitionModel:
+    """A trainable model mapping points in R^d to a distribution over bins."""
+
+    def __init__(self, module: Module, dim: int, n_bins: int) -> None:
+        self.module = module
+        self.dim = int(dim)
+        self.n_bins = int(n_bins)
+
+    # -- training-side API ------------------------------------------------ #
+    def forward_logits(self, points: np.ndarray) -> Tensor:
+        """Forward pass returning logits as an autodiff tensor (training mode)."""
+        return self.module(Tensor(np.asarray(points, dtype=np.float64)))
+
+    def parameters(self):
+        return self.module.parameters()
+
+    def num_parameters(self) -> int:
+        """Learnable parameter count (reported in the paper's Table 2)."""
+        return self.module.num_parameters()
+
+    def train(self) -> None:
+        self.module.train()
+
+    def eval(self) -> None:
+        self.module.eval()
+
+    # -- inference-side API ------------------------------------------------ #
+    def predict_proba(self, points: np.ndarray, *, batch_size: int = 4096) -> np.ndarray:
+        """Bin probability distribution for each row of ``points`` (eval mode)."""
+        points = np.atleast_2d(np.asarray(points, dtype=np.float64))
+        if points.shape[1] != self.dim:
+            raise ConfigurationError(
+                f"points have dimension {points.shape[1]}, model expects {self.dim}"
+            )
+        was_training = self.module.training
+        self.module.eval()
+        try:
+            outputs = np.empty((points.shape[0], self.n_bins), dtype=np.float64)
+            for start in range(0, points.shape[0], batch_size):
+                chunk = points[start : start + batch_size]
+                logits = self.module(Tensor(chunk)).data
+                shifted = logits - logits.max(axis=1, keepdims=True)
+                exp = np.exp(shifted)
+                outputs[start : start + chunk.shape[0]] = exp / exp.sum(axis=1, keepdims=True)
+        finally:
+            self.module.train(was_training)
+        return outputs
+
+    def predict_bins(self, points: np.ndarray, *, batch_size: int = 4096) -> np.ndarray:
+        """Most likely bin for each row of ``points``."""
+        return self.predict_proba(points, batch_size=batch_size).argmax(axis=1)
+
+    def state_dict(self):
+        return self.module.state_dict()
+
+    def load_state_dict(self, state) -> None:
+        self.module.load_state_dict(state)
+
+
+def build_mlp_module(
+    dim: int,
+    n_bins: int,
+    *,
+    hidden_dim: int = 128,
+    dropout: float = 0.1,
+    rng: SeedLike = None,
+) -> Module:
+    """The paper's neural network: one hidden block plus a softmax head.
+
+    The softmax itself is applied inside the loss (``log_softmax``) and in
+    :meth:`PartitionModel.predict_proba`; the module outputs logits.
+    """
+    rng = resolve_rng(rng)
+    return Sequential(
+        Linear(dim, hidden_dim, rng=rng),
+        BatchNorm1d(hidden_dim),
+        ReLU(),
+        Dropout(dropout, rng=rng),
+        Linear(hidden_dim, n_bins, rng=rng),
+    )
+
+
+def build_logistic_module(dim: int, n_bins: int, *, rng: SeedLike = None) -> Module:
+    """Softmax (multinomial logistic) regression: a single linear layer."""
+    return Sequential(Linear(dim, n_bins, rng=resolve_rng(rng)))
+
+
+def build_partition_model(dim: int, config: UspConfig, *, rng: SeedLike = None) -> PartitionModel:
+    """Construct the model described by ``config`` for ``dim``-dimensional data."""
+    rng = resolve_rng(rng if rng is not None else config.seed)
+    if config.model == "mlp":
+        module = build_mlp_module(
+            dim,
+            config.n_bins,
+            hidden_dim=config.hidden_dim,
+            dropout=config.dropout,
+            rng=rng,
+        )
+    elif config.model == "logistic":
+        module = build_logistic_module(dim, config.n_bins, rng=rng)
+    else:  # pragma: no cover - guarded by UspConfig validation
+        raise ConfigurationError(f"unknown model type {config.model!r}")
+    return PartitionModel(module, dim=dim, n_bins=config.n_bins)

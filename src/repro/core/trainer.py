@@ -1,0 +1,176 @@
+"""Training loop for a single USP partition model (Algorithm 1, step 2).
+
+Each iteration samples a uniform mini-batch of dataset points, looks up
+their ``k'`` nearest neighbours in the precomputed k'-NN matrix, runs a
+detached forward pass on the neighbours to obtain their current bin
+assignments, and minimises the USP loss on the batch with Adam.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+import numpy as np
+
+from ..nn import Adam, UniformBatchSampler, clip_grad_norm
+from ..utils.exceptions import ValidationError
+from ..utils.rng import resolve_rng
+from ..utils.timing import Stopwatch
+from .config import UspConfig
+from .knn_matrix import KnnMatrix
+from .loss import LossBreakdown, usp_loss
+from .models import PartitionModel, build_partition_model
+
+
+@dataclass
+class TrainingHistory:
+    """Per-iteration loss values recorded during training."""
+
+    total: List[float] = field(default_factory=list)
+    quality: List[float] = field(default_factory=list)
+    balance: List[float] = field(default_factory=list)
+    seconds: float = 0.0
+
+    def record(self, breakdown: LossBreakdown) -> None:
+        self.total.append(breakdown.total)
+        self.quality.append(breakdown.quality)
+        self.balance.append(breakdown.balance)
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.total)
+
+    def smoothed_total(self, window: int = 10) -> List[float]:
+        """Moving average of the total loss (for convergence checks)."""
+        if not self.total:
+            return []
+        values = np.asarray(self.total, dtype=np.float64)
+        window = max(1, min(window, len(values)))
+        kernel = np.ones(window) / window
+        return np.convolve(values, kernel, mode="valid").tolist()
+
+
+ProgressCallback = Callable[[int, LossBreakdown], None]
+
+
+class UspTrainer:
+    """Trains one partition model on a dataset with the USP loss."""
+
+    def __init__(self, config: UspConfig) -> None:
+        self.config = config
+
+    def train(
+        self,
+        points: np.ndarray,
+        knn: KnnMatrix,
+        *,
+        model: Optional[PartitionModel] = None,
+        point_weights: Optional[np.ndarray] = None,
+        progress: Optional[ProgressCallback] = None,
+    ) -> tuple[PartitionModel, TrainingHistory]:
+        """Run Algorithm 1 step 2 and return the trained model plus history.
+
+        Parameters
+        ----------
+        points:
+            ``(n, d)`` dataset ``X``.
+        knn:
+            The k'-NN matrix built from ``points``.
+        model:
+            Optionally, a pre-built model to (continue to) train; by default
+            a fresh model described by the config is created.
+        point_weights:
+            Optional per-point boosting weights ``w_i`` (ensemble training);
+            defaults to uniform weights.
+        progress:
+            Optional callback invoked after every iteration.
+        """
+        points = np.asarray(points, dtype=np.float64)
+        config = self.config
+        if knn.n_points != points.shape[0]:
+            raise ValidationError(
+                f"k'-NN matrix covers {knn.n_points} points but the dataset has {points.shape[0]}"
+            )
+        if point_weights is not None:
+            point_weights = np.asarray(point_weights, dtype=np.float64).reshape(-1)
+            if point_weights.shape[0] != points.shape[0]:
+                raise ValidationError("point_weights must have one entry per dataset point")
+            if point_weights.min() < 0:
+                raise ValidationError("point_weights must be non-negative")
+
+        rng = resolve_rng(config.seed)
+        if model is None:
+            model = build_partition_model(points.shape[1], config, rng=rng)
+        model.train()
+
+        optimizer = Adam(
+            model.parameters(),
+            lr=config.learning_rate,
+            weight_decay=config.weight_decay,
+        )
+        batch_size = config.batch_size_for(points.shape[0])
+        sampler = UniformBatchSampler(points, batch_size, rng=rng)
+        iterations_per_epoch = max(1, points.shape[0] // batch_size)
+        history = TrainingHistory()
+        stopwatch = Stopwatch()
+
+        with stopwatch.section("train"):
+            iteration = 0
+            for _epoch in range(config.epochs):
+                for _ in range(iterations_per_epoch):
+                    batch = sampler.sample()
+                    breakdown = self._step(
+                        model, optimizer, points, knn, batch.indices, point_weights
+                    )
+                    history.record(breakdown)
+                    if progress is not None:
+                        progress(iteration, breakdown)
+                    iteration += 1
+        history.seconds = stopwatch.totals().get("train", 0.0)
+        model.eval()
+        return model, history
+
+    def _step(
+        self,
+        model: PartitionModel,
+        optimizer: Adam,
+        points: np.ndarray,
+        knn: KnnMatrix,
+        batch_indices: np.ndarray,
+        point_weights: Optional[np.ndarray],
+    ) -> LossBreakdown:
+        """One optimisation step on one mini-batch."""
+        config = self.config
+        batch_points = points[batch_indices]
+        neighbor_indices = knn.gather(batch_indices)  # (batch, k')
+
+        # Detached forward pass over the (unique) neighbours to obtain their
+        # current most-likely bins; these act as constants in the loss.
+        unique_neighbors, inverse = np.unique(neighbor_indices, return_inverse=True)
+        neighbor_bin_flat = model.predict_bins(points[unique_neighbors])
+        neighbor_bins = neighbor_bin_flat[inverse].reshape(neighbor_indices.shape)
+
+        weights = None
+        if point_weights is not None:
+            weights = point_weights[batch_indices]
+            if weights.sum() <= 0:
+                weights = None
+
+        model.train()
+        optimizer.zero_grad()
+        logits = model.forward_logits(batch_points)
+        loss, breakdown = usp_loss(
+            logits,
+            neighbor_bins,
+            config.n_bins,
+            config.eta,
+            weights=weights,
+            soft_labels=config.soft_labels,
+            balance_term=config.balance_term,
+        )
+        loss.backward()
+        if config.grad_clip is not None:
+            clip_grad_norm(model.parameters(), config.grad_clip)
+        optimizer.step()
+        return breakdown

@@ -1,0 +1,55 @@
+"""Evaluation harness: metrics, sweeps, experiment runners, reporting."""
+
+from .metrics import (
+    average_candidate_size,
+    candidate_recall,
+    knn_accuracy,
+    recall_at_k,
+)
+from .sweep import (
+    SweepCurve,
+    SweepPoint,
+    accuracy_candidate_curve,
+    probe_schedule,
+    throughput_accuracy_curve,
+)
+from .reporting import format_curves, format_frontier_summary, format_table
+from .experiments import (
+    ExperimentScale,
+    benchmark_dataset,
+    default_usp_config,
+    run_figure5,
+    run_figure6,
+    run_figure7,
+    run_table2,
+    run_table3,
+    run_table4,
+    run_table5,
+    speedup_at_accuracy,
+)
+
+__all__ = [
+    "average_candidate_size",
+    "candidate_recall",
+    "knn_accuracy",
+    "recall_at_k",
+    "SweepCurve",
+    "SweepPoint",
+    "accuracy_candidate_curve",
+    "probe_schedule",
+    "throughput_accuracy_curve",
+    "format_curves",
+    "format_frontier_summary",
+    "format_table",
+    "ExperimentScale",
+    "benchmark_dataset",
+    "default_usp_config",
+    "run_figure5",
+    "run_figure6",
+    "run_figure7",
+    "run_table2",
+    "run_table3",
+    "run_table4",
+    "run_table5",
+    "speedup_at_accuracy",
+]

@@ -1,0 +1,72 @@
+"""Numpy-based neural network substrate (autodiff, layers, optimisers).
+
+This subpackage replaces PyTorch for the reproduction: it provides exactly
+the pieces the paper's models need — a reverse-mode autodiff tensor, fully
+connected layers with batch normalisation and dropout, Glorot
+initialisation, Adam/SGD optimisers, and soft-label cross-entropy.
+"""
+
+from .tensor import Tensor, as_tensor, stack_rows
+from .init import (
+    get_initializer,
+    glorot_normal,
+    glorot_uniform,
+    he_uniform,
+    ones,
+    zeros,
+)
+from .layers import (
+    BatchNorm1d,
+    Dropout,
+    Linear,
+    Module,
+    Parameter,
+    ReLU,
+    Sequential,
+    Softmax,
+    Tanh,
+)
+from .losses import (
+    binary_cross_entropy_with_logits,
+    cross_entropy,
+    mse_loss,
+    soft_cross_entropy,
+)
+from .optim import SGD, Adam, Optimizer, clip_grad_norm
+from .data import Batch, EpochBatchIterator, UniformBatchSampler, train_validation_split
+from .serialization import load_module, save_module
+
+__all__ = [
+    "Tensor",
+    "as_tensor",
+    "stack_rows",
+    "get_initializer",
+    "glorot_normal",
+    "glorot_uniform",
+    "he_uniform",
+    "ones",
+    "zeros",
+    "BatchNorm1d",
+    "Dropout",
+    "Linear",
+    "Module",
+    "Parameter",
+    "ReLU",
+    "Sequential",
+    "Softmax",
+    "Tanh",
+    "binary_cross_entropy_with_logits",
+    "cross_entropy",
+    "mse_loss",
+    "soft_cross_entropy",
+    "SGD",
+    "Adam",
+    "Optimizer",
+    "clip_grad_norm",
+    "Batch",
+    "EpochBatchIterator",
+    "UniformBatchSampler",
+    "train_validation_split",
+    "load_module",
+    "save_module",
+]

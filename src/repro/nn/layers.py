@@ -1,0 +1,295 @@
+"""Neural network modules built on top of the autodiff :class:`Tensor`.
+
+Mirrors the subset of ``torch.nn`` used by the paper: ``Linear``,
+``BatchNorm1d``, ``ReLU``, ``Dropout``, ``Sequential``, and a softmax output
+head.  A :class:`Module` owns named :class:`Parameter` tensors and optional
+named buffers (non-trainable state such as BatchNorm running statistics).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..utils.rng import SeedLike, resolve_rng
+from .init import get_initializer, ones, zeros
+from .tensor import Tensor
+
+
+class Parameter(Tensor):
+    """A trainable tensor (always requires gradients)."""
+
+    def __init__(self, data, *, name: Optional[str] = None) -> None:
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for all neural network modules."""
+
+    def __init__(self) -> None:
+        self._parameters: Dict[str, Parameter] = {}
+        self._buffers: Dict[str, np.ndarray] = {}
+        self._modules: Dict[str, "Module"] = {}
+        self.training = True
+
+    # -- registration --------------------------------------------------- #
+    def register_parameter(self, name: str, param: Parameter) -> Parameter:
+        self._parameters[name] = param
+        return param
+
+    def register_buffer(self, name: str, value: np.ndarray) -> np.ndarray:
+        self._buffers[name] = np.asarray(value, dtype=np.float64)
+        return self._buffers[name]
+
+    def add_module(self, name: str, module: "Module") -> "Module":
+        self._modules[name] = module
+        return module
+
+    def __setattr__(self, name: str, value) -> None:
+        if isinstance(value, Parameter):
+            self.__dict__.setdefault("_parameters", {})[name] = value
+        elif isinstance(value, Module):
+            self.__dict__.setdefault("_modules", {})[name] = value
+        super().__setattr__(name, value)
+
+    # -- traversal ------------------------------------------------------ #
+    def parameters(self) -> List[Parameter]:
+        """All trainable parameters of this module and its children."""
+        params = list(self._parameters.values())
+        for child in self._modules.values():
+            params.extend(child.parameters())
+        return params
+
+    def named_parameters(self, prefix: str = "") -> Iterator[Tuple[str, Parameter]]:
+        for name, param in self._parameters.items():
+            yield f"{prefix}{name}", param
+        for child_name, child in self._modules.items():
+            yield from child.named_parameters(prefix=f"{prefix}{child_name}.")
+
+    def named_buffers(self, prefix: str = "") -> Iterator[Tuple[str, np.ndarray]]:
+        for name, buf in self._buffers.items():
+            yield f"{prefix}{name}", buf
+        for child_name, child in self._modules.items():
+            yield from child.named_buffers(prefix=f"{prefix}{child_name}.")
+
+    def num_parameters(self) -> int:
+        """Total number of learnable scalar parameters (paper Table 2)."""
+        return int(sum(p.size for p in self.parameters()))
+
+    # -- mode ------------------------------------------------------------ #
+    def train(self, mode: bool = True) -> "Module":
+        self.training = mode
+        for child in self._modules.values():
+            child.train(mode)
+        return self
+
+    def eval(self) -> "Module":
+        return self.train(False)
+
+    def zero_grad(self) -> None:
+        for param in self.parameters():
+            param.zero_grad()
+
+    # -- state dict ------------------------------------------------------ #
+    def state_dict(self) -> Dict[str, np.ndarray]:
+        """Flat mapping of parameter/buffer names to arrays (copies)."""
+        state: Dict[str, np.ndarray] = {}
+        for name, param in self.named_parameters():
+            state[name] = param.data.copy()
+        for name, buf in self.named_buffers():
+            state[f"__buffer__.{name}"] = buf.copy()
+        return state
+
+    def load_state_dict(self, state: Dict[str, np.ndarray]) -> None:
+        """Load parameters and buffers produced by :meth:`state_dict`."""
+        param_map = dict(self.named_parameters())
+        for name, value in state.items():
+            if name.startswith("__buffer__."):
+                self._load_buffer(name[len("__buffer__.") :], value)
+            else:
+                if name not in param_map:
+                    raise KeyError(f"unexpected parameter {name!r} in state dict")
+                if param_map[name].shape != value.shape:
+                    raise ValueError(
+                        f"shape mismatch for {name!r}: "
+                        f"{param_map[name].shape} vs {value.shape}"
+                    )
+                param_map[name].data[...] = value
+
+    def _load_buffer(self, dotted_name: str, value: np.ndarray) -> None:
+        parts = dotted_name.split(".")
+        module: Module = self
+        for part in parts[:-1]:
+            module = module._modules[part]
+        module._buffers[parts[-1]][...] = value
+
+    # -- forward --------------------------------------------------------- #
+    def forward(self, x: Tensor) -> Tensor:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def __call__(self, x: Tensor) -> Tensor:
+        return self.forward(x)
+
+
+class Linear(Module):
+    """Fully connected layer ``y = x W + b``."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        *,
+        bias: bool = True,
+        init: str = "glorot_uniform",
+        rng: SeedLike = None,
+    ) -> None:
+        super().__init__()
+        self.in_features = int(in_features)
+        self.out_features = int(out_features)
+        initializer = get_initializer(init)
+        self.weight = Parameter(
+            initializer(self.in_features, self.out_features, resolve_rng(rng)),
+            name="weight",
+        )
+        self.bias: Optional[Parameter]
+        if bias:
+            self.bias = Parameter(zeros(self.out_features), name="bias")
+        else:
+            self.bias = None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x @ self.weight
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+    def __repr__(self) -> str:
+        return f"Linear({self.in_features}, {self.out_features})"
+
+
+class ReLU(Module):
+    """Rectified linear activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.relu()
+
+    def __repr__(self) -> str:
+        return "ReLU()"
+
+
+class Tanh(Module):
+    """Hyperbolic tangent activation."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.tanh()
+
+    def __repr__(self) -> str:
+        return "Tanh()"
+
+
+class Dropout(Module):
+    """Inverted dropout; identity in eval mode.
+
+    The paper uses dropout with probability 0.1 to regularise the
+    partitioning network so that it generalises to out-of-sample queries.
+    """
+
+    def __init__(self, p: float = 0.1, *, rng: SeedLike = None) -> None:
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError(f"dropout probability must be in [0, 1), got {p}")
+        self.p = float(p)
+        self._rng = resolve_rng(rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        if not self.training or self.p == 0.0:
+            return x
+        keep = 1.0 - self.p
+        mask = (self._rng.random(x.shape) < keep).astype(np.float64) / keep
+        return x * Tensor(mask)
+
+    def __repr__(self) -> str:
+        return f"Dropout(p={self.p})"
+
+
+class BatchNorm1d(Module):
+    """Batch normalisation over the feature dimension of a 2-D input."""
+
+    def __init__(self, num_features: int, *, momentum: float = 0.1, eps: float = 1e-5) -> None:
+        super().__init__()
+        self.num_features = int(num_features)
+        self.momentum = float(momentum)
+        self.eps = float(eps)
+        self.gamma = Parameter(ones(self.num_features), name="gamma")
+        self.beta = Parameter(zeros(self.num_features), name="beta")
+        self.register_buffer("running_mean", zeros(self.num_features))
+        self.register_buffer("running_var", ones(self.num_features))
+
+    def forward(self, x: Tensor) -> Tensor:
+        if self.training:
+            mean = x.mean(axis=0, keepdims=True)
+            centered = x - mean
+            var = (centered * centered).mean(axis=0, keepdims=True)
+            # update running statistics with detached batch statistics
+            batch_mean = mean.data.reshape(-1)
+            batch_var = var.data.reshape(-1)
+            self._buffers["running_mean"] *= 1.0 - self.momentum
+            self._buffers["running_mean"] += self.momentum * batch_mean
+            self._buffers["running_var"] *= 1.0 - self.momentum
+            self._buffers["running_var"] += self.momentum * batch_var
+            normalized = centered / (var + self.eps).sqrt()
+        else:
+            mean = Tensor(self._buffers["running_mean"][None, :])
+            var = Tensor(self._buffers["running_var"][None, :])
+            normalized = (x - mean) / (var + self.eps).sqrt()
+        return normalized * self.gamma + self.beta
+
+    def __repr__(self) -> str:
+        return f"BatchNorm1d({self.num_features})"
+
+
+class Softmax(Module):
+    """Softmax over the last axis."""
+
+    def forward(self, x: Tensor) -> Tensor:
+        return x.softmax(axis=-1)
+
+    def __repr__(self) -> str:
+        return "Softmax()"
+
+
+class Sequential(Module):
+    """Run child modules in order."""
+
+    def __init__(self, *modules: Module) -> None:
+        super().__init__()
+        self._order: List[str] = []
+        for i, module in enumerate(modules):
+            name = str(i)
+            self.add_module(name, module)
+            self._order.append(name)
+
+    def append(self, module: Module) -> "Sequential":
+        name = str(len(self._order))
+        self.add_module(name, module)
+        self._order.append(name)
+        return self
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self._modules[name] for name in self._order)
+
+    def __len__(self) -> int:
+        return len(self._order)
+
+    def __getitem__(self, index: int) -> Module:
+        return self._modules[self._order[index]]
+
+    def forward(self, x: Tensor) -> Tensor:
+        for name in self._order:
+            x = self._modules[name](x)
+        return x
+
+    def __repr__(self) -> str:
+        inner = ", ".join(repr(self._modules[name]) for name in self._order)
+        return f"Sequential({inner})"

@@ -1,0 +1,89 @@
+"""Generic training losses built on the autodiff tensor.
+
+The USP-specific partition loss lives in :mod:`repro.core.loss`; this module
+provides the standard building blocks it relies on (soft-label
+cross-entropy) plus losses used by the supervised baselines (Neural LSH's
+classification loss, MSE for tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .tensor import Tensor
+
+
+def soft_cross_entropy(
+    logits: Tensor,
+    soft_targets: np.ndarray,
+    *,
+    weights: Optional[np.ndarray] = None,
+) -> Tensor:
+    """Cross entropy between row-wise soft target distributions and logits.
+
+    Parameters
+    ----------
+    logits:
+        ``(batch, classes)`` unnormalised model outputs.
+    soft_targets:
+        ``(batch, classes)`` non-negative rows summing to one, treated as
+        constants (no gradient flows through them).
+    weights:
+        Optional per-row weights (the ensemble boosting weights of the
+        paper's Eq. 14); defaults to uniform.
+
+    Returns
+    -------
+    A scalar tensor: the (weighted) mean over rows of
+    ``-sum_j targets[i, j] * log_softmax(logits)[i, j]``.
+    """
+    soft_targets = np.asarray(soft_targets, dtype=np.float64)
+    if soft_targets.shape != logits.shape:
+        raise ValueError(
+            f"soft_targets shape {soft_targets.shape} does not match logits {logits.shape}"
+        )
+    log_probs = logits.log_softmax(axis=-1)
+    per_row = -(log_probs * Tensor(soft_targets)).sum(axis=1)
+    if weights is None:
+        return per_row.mean()
+    weights = np.asarray(weights, dtype=np.float64).reshape(-1)
+    if weights.shape[0] != logits.shape[0]:
+        raise ValueError(
+            f"weights length {weights.shape[0]} does not match batch {logits.shape[0]}"
+        )
+    total = float(weights.sum())
+    if total <= 0:
+        raise ValueError("weights must have a positive sum")
+    normalized = weights / total
+    return (per_row * Tensor(normalized)).sum()
+
+
+def cross_entropy(logits: Tensor, labels: np.ndarray) -> Tensor:
+    """Hard-label cross entropy (used by the Neural LSH baseline classifier)."""
+    labels = np.asarray(labels, dtype=np.int64).reshape(-1)
+    n_classes = logits.shape[-1]
+    if labels.min() < 0 or labels.max() >= n_classes:
+        raise ValueError("labels out of range for the given logits")
+    one_hot = np.zeros((labels.shape[0], n_classes), dtype=np.float64)
+    one_hot[np.arange(labels.shape[0]), labels] = 1.0
+    return soft_cross_entropy(logits, one_hot)
+
+
+def mse_loss(prediction: Tensor, target: np.ndarray) -> Tensor:
+    """Mean squared error against a constant target array."""
+    target = np.asarray(target, dtype=np.float64)
+    diff = prediction - Tensor(target)
+    return (diff * diff).mean()
+
+
+def binary_cross_entropy_with_logits(logits: Tensor, targets: np.ndarray) -> Tensor:
+    """Numerically stable binary cross entropy on logits (hyperplane learners)."""
+    targets = np.asarray(targets, dtype=np.float64)
+    # log(1 + exp(-|x|)) + max(x, 0) - x*t  is the stable form.
+    probs_pos = logits.sigmoid()
+    eps = 1e-12
+    term_pos = (probs_pos + eps).log() * Tensor(targets)
+    term_neg = (1.0 - probs_pos + eps).log() * Tensor(1.0 - targets)
+    return -(term_pos + term_neg).mean()

@@ -1,0 +1,34 @@
+"""Saving and loading model parameters as ``.npz`` archives."""
+
+from __future__ import annotations
+
+import os
+from typing import Dict
+
+import numpy as np
+
+from ..utils.exceptions import SerializationError
+from .layers import Module
+
+
+def save_module(module: Module, path: str | os.PathLike) -> None:
+    """Write a module's :meth:`state_dict` to ``path`` as a ``.npz`` archive."""
+    state = module.state_dict()
+    try:
+        np.savez(path, **state)
+    except OSError as exc:  # pragma: no cover - filesystem dependent
+        raise SerializationError(f"could not save module to {path}: {exc}") from exc
+
+
+def load_module(module: Module, path: str | os.PathLike) -> Module:
+    """Load parameters saved by :func:`save_module` into ``module`` (in place)."""
+    try:
+        with np.load(path) as archive:
+            state: Dict[str, np.ndarray] = {key: archive[key] for key in archive.files}
+    except OSError as exc:
+        raise SerializationError(f"could not load module from {path}: {exc}") from exc
+    try:
+        module.load_state_dict(state)
+    except (KeyError, ValueError) as exc:
+        raise SerializationError(f"incompatible state dict in {path}: {exc}") from exc
+    return module

@@ -1,0 +1,424 @@
+"""A small reverse-mode automatic differentiation engine on numpy arrays.
+
+This module is the stand-in for PyTorch's autograd in the reproduction (the
+paper trains its partitioning models with PyTorch).  It implements exactly
+the operator set required by the paper's models and loss function:
+
+* elementwise arithmetic with numpy-style broadcasting,
+* matrix multiplication,
+* ``exp`` / ``log`` / ``sqrt`` / ``relu`` / ``tanh`` / ``sigmoid``,
+* reductions (``sum`` / ``mean`` / ``max``) over an optional axis,
+* ``log_softmax`` / ``softmax`` (implemented stably as primitives),
+* shape ops (``reshape`` / ``transpose``) and row gathering.
+
+Gradients are accumulated by a topological-order backward pass over the
+dynamically recorded operation graph, mirroring the define-by-run semantics
+of PyTorch so the training loops in :mod:`repro.core.trainer` read the same
+way as the original implementation.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+ArrayLike = Union["Tensor", np.ndarray, float, int]
+
+
+def _unbroadcast(grad: np.ndarray, shape: Tuple[int, ...]) -> np.ndarray:
+    """Sum ``grad`` over broadcast dimensions so it matches ``shape``."""
+    if grad.shape == shape:
+        return grad
+    # Sum over leading dimensions added by broadcasting.
+    while grad.ndim > len(shape):
+        grad = grad.sum(axis=0)
+    # Sum over dimensions that were 1 in the original shape.
+    for axis, size in enumerate(shape):
+        if size == 1 and grad.shape[axis] != 1:
+            grad = grad.sum(axis=axis, keepdims=True)
+    return grad.reshape(shape)
+
+
+class Tensor:
+    """A numpy-backed tensor that records operations for backpropagation."""
+
+    __slots__ = ("data", "grad", "requires_grad", "_backward", "_parents", "name")
+    __array_priority__ = 100  # make numpy defer to our __radd__ etc.
+
+    def __init__(
+        self,
+        data: ArrayLike,
+        requires_grad: bool = False,
+        *,
+        name: Optional[str] = None,
+    ) -> None:
+        if isinstance(data, Tensor):
+            data = data.data
+        self.data = np.asarray(data, dtype=np.float64)
+        self.grad: Optional[np.ndarray] = None
+        self.requires_grad = bool(requires_grad)
+        self._backward: Optional[Callable[[np.ndarray], None]] = None
+        self._parents: Tuple["Tensor", ...] = ()
+        self.name = name
+
+    # ------------------------------------------------------------------ #
+    # basic protocol
+    # ------------------------------------------------------------------ #
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        return self.data.shape
+
+    @property
+    def ndim(self) -> int:
+        return self.data.ndim
+
+    @property
+    def size(self) -> int:
+        return self.data.size
+
+    def __len__(self) -> int:
+        return len(self.data)
+
+    def __repr__(self) -> str:
+        grad_flag = ", requires_grad=True" if self.requires_grad else ""
+        return f"Tensor(shape={self.shape}{grad_flag})"
+
+    def numpy(self) -> np.ndarray:
+        """Return the underlying data (no copy)."""
+        return self.data
+
+    def item(self) -> float:
+        """Return the value of a scalar tensor as a Python float."""
+        return float(self.data)
+
+    def detach(self) -> "Tensor":
+        """Return a new tensor sharing data but cut off from the graph."""
+        return Tensor(self.data, requires_grad=False)
+
+    def zero_grad(self) -> None:
+        self.grad = None
+
+    # ------------------------------------------------------------------ #
+    # graph construction helpers
+    # ------------------------------------------------------------------ #
+    @staticmethod
+    def _wrap(value: ArrayLike) -> "Tensor":
+        return value if isinstance(value, Tensor) else Tensor(value)
+
+    def _make(
+        self,
+        data: np.ndarray,
+        parents: Sequence["Tensor"],
+        backward: Callable[[np.ndarray], None],
+    ) -> "Tensor":
+        requires = any(p.requires_grad for p in parents)
+        out = Tensor(data, requires_grad=requires)
+        if requires:
+            out._parents = tuple(parents)
+            out._backward = backward
+        return out
+
+    def _accumulate(self, grad: np.ndarray) -> None:
+        if not self.requires_grad:
+            return
+        grad = np.asarray(grad, dtype=np.float64)
+        if self.grad is None:
+            self.grad = grad.copy()
+        else:
+            self.grad += grad
+
+    # ------------------------------------------------------------------ #
+    # arithmetic
+    # ------------------------------------------------------------------ #
+    def __add__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data + other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(grad, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __radd__(self, other: ArrayLike) -> "Tensor":
+        return self.__add__(other)
+
+    def __neg__(self) -> "Tensor":
+        out_data = -self.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(-grad)
+
+        return self._make(out_data, (self,), backward)
+
+    def __sub__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data - other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad, self.shape))
+            other._accumulate(_unbroadcast(-grad, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rsub__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other).__sub__(self)
+
+    def __mul__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data * other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad * other.data, self.shape))
+            other._accumulate(_unbroadcast(grad * self.data, other.shape))
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rmul__(self, other: ArrayLike) -> "Tensor":
+        return self.__mul__(other)
+
+    def __truediv__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data / other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(_unbroadcast(grad / other.data, self.shape))
+            other._accumulate(
+                _unbroadcast(-grad * self.data / (other.data**2), other.shape)
+            )
+
+        return self._make(out_data, (self, other), backward)
+
+    def __rtruediv__(self, other: ArrayLike) -> "Tensor":
+        return self._wrap(other).__truediv__(self)
+
+    def __pow__(self, exponent: float) -> "Tensor":
+        if not np.isscalar(exponent):
+            raise TypeError("only scalar exponents are supported")
+        out_data = self.data**exponent
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * exponent * self.data ** (exponent - 1))
+
+        return self._make(out_data, (self,), backward)
+
+    def __matmul__(self, other: ArrayLike) -> "Tensor":
+        other = self._wrap(other)
+        out_data = self.data @ other.data
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad @ other.data.T)
+            other._accumulate(self.data.T @ grad)
+
+        return self._make(out_data, (self, other), backward)
+
+    # ------------------------------------------------------------------ #
+    # elementwise functions
+    # ------------------------------------------------------------------ #
+    def exp(self) -> "Tensor":
+        out_data = np.exp(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data)
+
+        return self._make(out_data, (self,), backward)
+
+    def log(self) -> "Tensor":
+        out_data = np.log(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad / self.data)
+
+        return self._make(out_data, (self,), backward)
+
+    def sqrt(self) -> "Tensor":
+        out_data = np.sqrt(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * 0.5 / np.maximum(out_data, 1e-12))
+
+        return self._make(out_data, (self,), backward)
+
+    def relu(self) -> "Tensor":
+        mask = self.data > 0.0
+        out_data = self.data * mask
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * mask)
+
+        return self._make(out_data, (self,), backward)
+
+    def tanh(self) -> "Tensor":
+        out_data = np.tanh(self.data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * (1.0 - out_data**2))
+
+        return self._make(out_data, (self,), backward)
+
+    def sigmoid(self) -> "Tensor":
+        out_data = 1.0 / (1.0 + np.exp(-self.data))
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad * out_data * (1.0 - out_data))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # reductions
+    # ------------------------------------------------------------------ #
+    def sum(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.sum(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad = np.asarray(grad)
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+            self._accumulate(np.broadcast_to(grad, self.shape).copy())
+
+        return self._make(out_data, (self,), backward)
+
+    def mean(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        count = self.size if axis is None else self.shape[axis]
+        return self.sum(axis=axis, keepdims=keepdims) * (1.0 / count)
+
+    def max(self, axis: Optional[int] = None, keepdims: bool = False) -> "Tensor":
+        out_data = self.data.max(axis=axis, keepdims=keepdims)
+
+        def backward(grad: np.ndarray) -> None:
+            grad = np.asarray(grad)
+            expanded = out_data
+            if axis is not None and not keepdims:
+                grad = np.expand_dims(grad, axis)
+                expanded = np.expand_dims(out_data, axis)
+            mask = (self.data == expanded).astype(np.float64)
+            # Split gradient evenly between ties, as PyTorch does for amax.
+            mask /= np.maximum(mask.sum(axis=axis, keepdims=True), 1.0)
+            self._accumulate(mask * grad)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # softmax family
+    # ------------------------------------------------------------------ #
+    def log_softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        log_sum_exp = np.log(np.exp(shifted).sum(axis=axis, keepdims=True))
+        out_data = shifted - log_sum_exp
+        softmax = np.exp(out_data)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad - softmax * grad.sum(axis=axis, keepdims=True))
+
+        return self._make(out_data, (self,), backward)
+
+    def softmax(self, axis: int = -1) -> "Tensor":
+        shifted = self.data - self.data.max(axis=axis, keepdims=True)
+        exp = np.exp(shifted)
+        out_data = exp / exp.sum(axis=axis, keepdims=True)
+
+        def backward(grad: np.ndarray) -> None:
+            dot = (grad * out_data).sum(axis=axis, keepdims=True)
+            self._accumulate(out_data * (grad - dot))
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # shape ops
+    # ------------------------------------------------------------------ #
+    def reshape(self, *shape: int) -> "Tensor":
+        if len(shape) == 1 and isinstance(shape[0], (tuple, list)):
+            shape = tuple(shape[0])
+        original_shape = self.shape
+        out_data = self.data.reshape(shape)
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.reshape(original_shape))
+
+        return self._make(out_data, (self,), backward)
+
+    def transpose(self) -> "Tensor":
+        out_data = self.data.T
+
+        def backward(grad: np.ndarray) -> None:
+            self._accumulate(grad.T)
+
+        return self._make(out_data, (self,), backward)
+
+    @property
+    def T(self) -> "Tensor":  # noqa: N802 - numpy-compatible alias
+        return self.transpose()
+
+    def take_rows(self, indices: np.ndarray) -> "Tensor":
+        """Gather rows ``self[indices]`` with scatter-add backward."""
+        indices = np.asarray(indices, dtype=np.int64)
+        out_data = self.data[indices]
+
+        def backward(grad: np.ndarray) -> None:
+            full = np.zeros_like(self.data)
+            np.add.at(full, indices, grad)
+            self._accumulate(full)
+
+        return self._make(out_data, (self,), backward)
+
+    # ------------------------------------------------------------------ #
+    # backward pass
+    # ------------------------------------------------------------------ #
+    def backward(self, grad: Optional[np.ndarray] = None) -> None:
+        """Backpropagate from this tensor through the recorded graph."""
+        if not self.requires_grad:
+            raise RuntimeError("called backward() on a tensor that does not require grad")
+        if grad is None:
+            if self.data.size != 1:
+                raise RuntimeError("grad must be provided for non-scalar tensors")
+            grad = np.ones_like(self.data)
+        grad = np.asarray(grad, dtype=np.float64)
+
+        order: List[Tensor] = []
+        visited: set[int] = set()
+
+        def visit(node: "Tensor") -> None:
+            stack = [(node, False)]
+            while stack:
+                current, processed = stack.pop()
+                if processed:
+                    order.append(current)
+                    continue
+                if id(current) in visited:
+                    continue
+                visited.add(id(current))
+                stack.append((current, True))
+                for parent in current._parents:
+                    if parent.requires_grad and id(parent) not in visited:
+                        stack.append((parent, False))
+
+        visit(self)
+        self._accumulate(grad)
+        for node in reversed(order):
+            if node._backward is not None and node.grad is not None:
+                node._backward(node.grad)
+
+
+def as_tensor(value: ArrayLike, requires_grad: bool = False) -> Tensor:
+    """Coerce ``value`` to a :class:`Tensor` (no copy if already one)."""
+    if isinstance(value, Tensor):
+        return value
+    return Tensor(value, requires_grad=requires_grad)
+
+
+def stack_rows(tensors: Iterable[Tensor]) -> Tensor:
+    """Stack 1-D tensors into a 2-D tensor along a new leading axis."""
+    tensors = list(tensors)
+    data = np.stack([t.data for t in tensors], axis=0)
+    out = Tensor(data, requires_grad=any(t.requires_grad for t in tensors))
+
+    if out.requires_grad:
+
+        def backward(grad: np.ndarray) -> None:
+            for i, t in enumerate(tensors):
+                t._accumulate(grad[i])
+
+        out._parents = tuple(tensors)
+        out._backward = backward
+    return out

@@ -1,0 +1,32 @@
+"""Exception hierarchy for the neural-partitioner reproduction.
+
+All library errors derive from :class:`ReproError` so callers can catch a
+single base class.  Specific subclasses signal configuration problems,
+shape/validation failures, and attempts to use an index before it is built.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration value is invalid or inconsistent with another value."""
+
+
+class ValidationError(ReproError):
+    """An input array has the wrong shape, dtype, or contains invalid values."""
+
+
+class NotFittedError(ReproError):
+    """An index, model, or clusterer was queried before being built/trained."""
+
+
+class DatasetError(ReproError):
+    """A dataset could not be generated or loaded."""
+
+
+class SerializationError(ReproError):
+    """A model or index could not be saved or restored."""

@@ -1,0 +1,46 @@
+"""Random number handling.
+
+Every stochastic component in the library accepts a ``seed`` argument and
+resolves it through :func:`resolve_rng`, so experiments are reproducible
+end to end while still allowing callers to pass an existing
+:class:`numpy.random.Generator` when they want to share a stream.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+import numpy as np
+
+SeedLike = Union[None, int, np.random.Generator]
+
+_DEFAULT_SEED = 0x5EED
+
+
+def resolve_rng(seed: SeedLike = None) -> np.random.Generator:
+    """Return a :class:`numpy.random.Generator` for ``seed``.
+
+    Parameters
+    ----------
+    seed:
+        ``None`` (use the library default seed, deterministic), an integer
+        seed, or an already constructed generator (returned unchanged).
+    """
+    if isinstance(seed, np.random.Generator):
+        return seed
+    if seed is None:
+        return np.random.default_rng(_DEFAULT_SEED)
+    return np.random.default_rng(int(seed))
+
+
+def spawn_rngs(seed: SeedLike, count: int) -> list[np.random.Generator]:
+    """Create ``count`` independent generators derived from ``seed``.
+
+    Used by ensembles and hierarchical partitioners so that each member
+    trains on an independent but reproducible stream.
+    """
+    if count < 0:
+        raise ValueError(f"count must be non-negative, got {count}")
+    root = resolve_rng(seed)
+    seeds = root.integers(0, 2**63 - 1, size=count, dtype=np.int64)
+    return [np.random.default_rng(int(s)) for s in seeds]

@@ -1,0 +1,65 @@
+"""Lightweight wall-clock timing helpers used by the experiment harness."""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class TimerResult:
+    """Result of a single timed section."""
+
+    name: str
+    seconds: float
+
+    @property
+    def milliseconds(self) -> float:
+        return self.seconds * 1e3
+
+
+@dataclass
+class Stopwatch:
+    """Accumulates named timing sections.
+
+    Example
+    -------
+    >>> sw = Stopwatch()
+    >>> with sw.section("train"):
+    ...     pass
+    >>> "train" in sw.totals()
+    True
+    """
+
+    _records: List[TimerResult] = field(default_factory=list)
+
+    @contextmanager
+    def section(self, name: str) -> Iterator[None]:
+        start = time.perf_counter()
+        try:
+            yield
+        finally:
+            self._records.append(TimerResult(name, time.perf_counter() - start))
+
+    def totals(self) -> Dict[str, float]:
+        """Total seconds per section name."""
+        totals: Dict[str, float] = {}
+        for record in self._records:
+            totals[record.name] = totals.get(record.name, 0.0) + record.seconds
+        return totals
+
+    def records(self) -> List[TimerResult]:
+        return list(self._records)
+
+
+@contextmanager
+def timed() -> Iterator[List[float]]:
+    """Context manager that appends the elapsed seconds to the yielded list."""
+    result: List[float] = []
+    start = time.perf_counter()
+    try:
+        yield result
+    finally:
+        result.append(time.perf_counter() - start)

@@ -1,0 +1,172 @@
+"""Tests for the evaluation harness (metrics, sweeps, reporting, experiments)."""
+
+import numpy as np
+import pytest
+
+from repro.eval import (
+    ExperimentScale,
+    SweepCurve,
+    SweepPoint,
+    accuracy_candidate_curve,
+    average_candidate_size,
+    benchmark_dataset,
+    candidate_recall,
+    default_usp_config,
+    format_curves,
+    format_frontier_summary,
+    format_table,
+    knn_accuracy,
+    probe_schedule,
+    recall_at_k,
+    run_table2,
+    run_table5,
+    speedup_at_accuracy,
+    throughput_accuracy_curve,
+)
+from repro.baselines import KMeansIndex
+from repro.utils.exceptions import ValidationError
+
+
+class TestKnnAccuracy:
+    def test_perfect(self):
+        gt = np.array([[1, 2, 3], [4, 5, 6]])
+        assert knn_accuracy(gt, gt, 3) == pytest.approx(1.0)
+
+    def test_partial_overlap(self):
+        retrieved = np.array([[1, 2, 9]])
+        gt = np.array([[1, 2, 3]])
+        assert knn_accuracy(retrieved, gt, 3) == pytest.approx(2 / 3)
+
+    def test_padding_ignored(self):
+        retrieved = np.array([[1, -1, -1]])
+        gt = np.array([[1, 2, 3]])
+        assert knn_accuracy(retrieved, gt, 3) == pytest.approx(1 / 3)
+
+    def test_order_does_not_matter(self):
+        retrieved = np.array([[3, 1, 2]])
+        gt = np.array([[1, 2, 3]])
+        assert knn_accuracy(retrieved, gt, 3) == pytest.approx(1.0)
+
+    def test_recall_alias(self):
+        gt = np.array([[1, 2]])
+        assert recall_at_k(gt, gt, 2) == knn_accuracy(gt, gt, 2)
+
+    def test_shape_validation(self):
+        with pytest.raises(ValidationError):
+            knn_accuracy(np.array([[1]]), np.array([[1], [2]]), 1)
+        with pytest.raises(ValidationError):
+            knn_accuracy(np.array([[1]]), np.array([[1]]), 5)
+
+
+class TestCandidateMetrics:
+    def test_candidate_recall(self):
+        candidates = [np.array([1, 2, 3]), np.array([9])]
+        gt = np.array([[1, 2], [4, 5]])
+        assert candidate_recall(candidates, gt, 2) == pytest.approx(0.5)
+
+    def test_average_candidate_size(self):
+        assert average_candidate_size([np.arange(4), np.arange(8)]) == pytest.approx(6.0)
+
+    def test_empty_candidate_sets_rejected(self):
+        with pytest.raises(ValidationError):
+            average_candidate_size([])
+
+    def test_candidate_recall_length_check(self):
+        with pytest.raises(ValidationError):
+            candidate_recall([np.array([1])], np.array([[1], [2]]), 1)
+
+
+class TestSweep:
+    def test_probe_schedule_properties(self):
+        schedule = probe_schedule(16)
+        assert schedule[0] == 1
+        assert schedule[-1] == 16
+        assert schedule == sorted(set(schedule))
+
+    def test_probe_schedule_small(self):
+        assert probe_schedule(2) == [1, 2]
+
+    def test_accuracy_candidate_curve_monotone_candidates(self, tiny_dataset):
+        index = KMeansIndex(4, seed=0).build(tiny_dataset.base)
+        curve = accuracy_candidate_curve(index, tiny_dataset, k=10, probes=[1, 2, 4])
+        sizes = curve.candidate_sizes()
+        assert (np.diff(sizes) > 0).all()
+        assert curve.points[-1].accuracy == pytest.approx(1.0)
+        assert curve.points[0].candidate_ceiling >= curve.points[0].accuracy - 1e-9
+
+    def test_curve_interpolation(self):
+        curve = SweepCurve(
+            "m",
+            [
+                SweepPoint(1, 100.0, 0.5),
+                SweepPoint(2, 200.0, 0.9),
+            ],
+        )
+        assert curve.candidate_size_at_accuracy(0.7) == pytest.approx(150.0)
+        assert curve.candidate_size_at_accuracy(0.95) == float("inf")
+        assert curve.accuracy_at_candidate_size(150.0) == pytest.approx(0.5)
+        assert curve.accuracy_at_candidate_size(50.0) == 0.0
+
+    def test_throughput_curve(self, tiny_dataset):
+        index = KMeansIndex(4, seed=0).build(tiny_dataset.base)
+        curve = throughput_accuracy_curve(index, tiny_dataset, k=10, probes=[1, 4])
+        assert all(p.queries_per_second > 0 for p in curve.points)
+        assert curve.points[-1].accuracy >= curve.points[0].accuracy
+
+    def test_speedup_at_accuracy(self):
+        fast = SweepCurve("fast", [SweepPoint(1, 0, 0.9, queries_per_second=200.0)])
+        slow = SweepCurve("slow", [SweepPoint(1, 0, 0.9, queries_per_second=100.0)])
+        assert speedup_at_accuracy([fast, slow], "slow", "fast", 0.85) == pytest.approx(2.0)
+        assert np.isnan(speedup_at_accuracy([fast], "missing", "fast", 0.5))
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["xx", 3.0]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_format_curves_contains_methods(self):
+        curve = SweepCurve("methodX", [SweepPoint(1, 10.0, 0.5)])
+        assert "methodX" in format_curves([curve])
+
+    def test_format_frontier_summary_unreached(self):
+        curve = SweepCurve("m", [SweepPoint(1, 10.0, 0.5)])
+        text = format_frontier_summary([curve], (0.9,))
+        assert "unreached" in text
+
+
+class TestExperimentRunners:
+    def test_benchmark_dataset_scales(self):
+        scale = ExperimentScale.tiny()
+        data = benchmark_dataset("sift-like", scale)
+        assert data.n_points == scale.sift_points
+        data = benchmark_dataset("mnist-like", scale)
+        assert data.dim == scale.mnist_dim
+        with pytest.raises(ValueError):
+            benchmark_dataset("glove")
+
+    def test_default_usp_config(self):
+        config = default_usp_config(16)
+        assert config.n_bins == 16
+        assert default_usp_config(256).eta >= config.eta
+
+    def test_table2_ordering_matches_paper(self):
+        counts = run_table2()
+        assert counts["Neural LSH"] > counts["USP (ours)"] > counts["K-means"]
+        # The paper reports ~729k / ~183k / ~33k; check the right ballpark.
+        assert 500_000 < counts["Neural LSH"] < 1_000_000
+        assert 100_000 < counts["USP (ours)"] < 300_000
+        assert counts["K-means"] == 128 * 256
+
+    def test_table5_rows_complete(self):
+        rows = run_table5(n_points=150, include_spectral=False)
+        datasets = {row["dataset"] for row in rows}
+        methods = {row["method"] for row in rows}
+        assert len(datasets) == 3
+        assert {"USP (ours)", "DBSCAN", "K-means"} <= methods
+        for row in rows:
+            assert -1.0 <= row["ari"] <= 1.0
+            assert 0.0 <= row["nmi"] <= 1.0
