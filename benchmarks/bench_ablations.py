@@ -9,13 +9,11 @@ one probe as the common quality measure.
 import numpy as np
 from conftest import run_once
 
+from repro.api import make_index
 from repro.core import (
     EnsembleConfig,
     HierarchicalConfig,
-    HierarchicalUspIndex,
     UspConfig,
-    UspEnsembleIndex,
-    UspIndex,
     build_knn_matrix,
 )
 from repro.datasets import sift_like
@@ -46,7 +44,7 @@ def test_ablation_soft_vs_hard_labels(benchmark, report):
     def run():
         rows = []
         for soft in (True, False):
-            index = UspIndex(BASE.with_updates(soft_labels=soft)).build(dataset.base, knn=knn)
+            index = make_index("usp", config=BASE.with_updates(soft_labels=soft)).build(dataset.base, knn=knn)
             recall, size = _quality(index, dataset)
             rows.append(("soft labels" if soft else "hard labels", round(recall, 3), round(size, 1)))
         return rows
@@ -69,7 +67,7 @@ def test_ablation_balance_term(benchmark, report):
     def run():
         rows = []
         for term in ("topk", "entropy", "none"):
-            index = UspIndex(BASE.with_updates(balance_term=term)).build(dataset.base, knn=knn)
+            index = make_index("usp", config=BASE.with_updates(balance_term=term)).build(dataset.base, knn=knn)
             recall, size = _quality(index, dataset)
             imbalance = float(index.bin_sizes().max() / (dataset.n_points / index.n_bins))
             rows.append((term, round(recall, 3), round(size, 1), round(imbalance, 2)))
@@ -99,11 +97,11 @@ def test_ablation_ensemble_size(benchmark, report):
         rows = []
         for e in (1, 2, 3):
             if e == 1:
-                index = UspIndex(BASE).build(dataset.base, knn=knn)
+                index = make_index("usp", config=BASE).build(dataset.base, knn=knn)
             else:
-                index = UspEnsembleIndex(EnsembleConfig(n_models=e, base=BASE)).build(
-                    dataset.base, knn=knn
-                )
+                index = make_index(
+                    "usp-ensemble", config=EnsembleConfig(n_models=e, base=BASE)
+                ).build(dataset.base, knn=knn)
             recall, size = _quality(index, dataset)
             rows.append((e, round(recall, 3), round(size, 1)))
         return rows
@@ -124,7 +122,7 @@ def test_ablation_kprime(benchmark, report):
         rows = []
         for k_prime in (2, 5, 10, 20):
             knn = build_knn_matrix(dataset.base, k_prime)
-            index = UspIndex(BASE.with_updates(k_prime=k_prime)).build(dataset.base, knn=knn)
+            index = make_index("usp", config=BASE.with_updates(k_prime=k_prime)).build(dataset.base, knn=knn)
             recall, size = _quality(index, dataset)
             rows.append((k_prime, round(recall, 3), round(size, 1)))
         return rows
@@ -148,7 +146,7 @@ def test_ablation_batch_fraction(benchmark, report):
         rows = []
         for fraction in (0.02, 0.04, 0.15):
             config = BASE.with_updates(batch_fraction=fraction, min_batch_size=32)
-            index = UspIndex(config).build(dataset.base, knn=knn)
+            index = make_index("usp", config=config).build(dataset.base, knn=knn)
             recall, size = _quality(index, dataset)
             rows.append((fraction, config.batch_size_for(dataset.n_points), round(recall, 3), round(size, 1)))
         return rows
@@ -170,9 +168,10 @@ def test_ablation_hierarchical_vs_flat(benchmark, report):
     dataset = _ablation_dataset()
 
     def run():
-        flat = UspIndex(BASE.with_updates(n_bins=16)).build(dataset.base)
-        hier = HierarchicalUspIndex(
-            HierarchicalConfig(levels=(4, 4), base=BASE.with_updates(n_bins=4))
+        flat = make_index("usp", config=BASE.with_updates(n_bins=16)).build(dataset.base)
+        hier = make_index(
+            "usp-hierarchical",
+            config=HierarchicalConfig(levels=(4, 4), base=BASE.with_updates(n_bins=4)),
         ).build(dataset.base)
         rows = []
         for name, index in (("flat 16 bins", flat), ("hierarchical 4 x 4", hier)):

@@ -1,16 +1,36 @@
 """neural-partitioner: reproduction of "Unsupervised Space Partitioning for
 Nearest Neighbor Search" (Fahim, Ali, Cheema — EDBT 2023).
 
-The public API is re-exported lazily from the subpackages so that importing
-:mod:`repro` stays cheap.  The most commonly used entry points are:
+The library grows the paper's comparison — USP against K-means, Neural
+LSH, classical LSH, partition trees, and full ANN pipelines (IVF-PQ,
+HNSW, ScaNN) — into one system behind a single public API:
 
-* :class:`repro.core.UspIndex` — build/query the unsupervised space
-  partitioning ANN index (the paper's contribution).
-* :class:`repro.core.UspEnsembleIndex` — the boosted ensemble variant.
+* :func:`repro.api.make_index` — construct **any** back-end by registry
+  name: ``make_index("usp", n_bins=16)``, ``make_index("hnsw", m=16)``,
+  ``make_index("kmeans-scann", n_bins=32)``, ...;
+  :func:`repro.api.available_indexes` lists every name.
+* The :class:`repro.api.AnnIndex` protocol — every index follows
+  ``build(base)`` / ``query`` / ``batch_query`` / ``stats()``, with an
+  :class:`repro.api.IndexCapabilities` descriptor on each class (metric
+  support, probe semantics, parameter-count reporting).
+* Persistence — every registered index round-trips through
+  ``index.save(path)`` / :func:`repro.api.load_index` (JSON config +
+  ``.npz`` arrays), answering queries bitwise-identically after reload.
+
+The underlying subpackages remain importable directly (and are loaded
+lazily, so ``import repro`` stays cheap):
+
+* :mod:`repro.core` — the USP index, ensemble, and hierarchy (the
+  paper's contribution).
 * :mod:`repro.baselines` — K-means, Neural LSH, LSH, and tree baselines.
 * :mod:`repro.ann` — brute force, IVF-PQ, HNSW, and ScaNN-like back-ends.
 * :mod:`repro.datasets` — synthetic SIFT-like / MNIST-like benchmark data.
-* :mod:`repro.eval` — recall metrics and the experiment harness.
+* :mod:`repro.eval` — recall metrics, sweeps, and the experiment harness.
+
+Naming convention: *indexes build, codecs fit* — every index exposes
+``build``; the quantizers (:class:`repro.ann.ProductQuantizer`,
+:class:`repro.ann.AnisotropicQuantizer`) keep ``fit``.  The old spellings
+survive as thin aliases that raise :class:`DeprecationWarning`.
 """
 
 from __future__ import annotations
@@ -18,9 +38,10 @@ from __future__ import annotations
 import importlib
 from typing import TYPE_CHECKING
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 _LAZY_SUBMODULES = {
+    "api",
     "nn",
     "utils",
     "datasets",
@@ -33,6 +54,14 @@ _LAZY_SUBMODULES = {
 
 _LAZY_ATTRS = {
     # name -> (module, attribute)
+    "AnnIndex": ("repro.api", "AnnIndex"),
+    "IndexCapabilities": ("repro.api", "IndexCapabilities"),
+    "make_index": ("repro.api", "make_index"),
+    "available_indexes": ("repro.api", "available_indexes"),
+    "index_info": ("repro.api", "index_info"),
+    "register_index": ("repro.api", "register_index"),
+    "save_index": ("repro.api", "save_index"),
+    "load_index": ("repro.api", "load_index"),
     "UspIndex": ("repro.core", "UspIndex"),
     "UspEnsembleIndex": ("repro.core", "UspEnsembleIndex"),
     "HierarchicalUspIndex": ("repro.core", "HierarchicalUspIndex"),
@@ -59,4 +88,4 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from . import ann, baselines, clustering, core, datasets, eval, nn, utils
+    from . import ann, api, baselines, clustering, core, datasets, eval, nn, utils

@@ -10,12 +10,23 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..api.protocol import IndexCapabilities, RegisteredIndex
+from ..api.registry import register_index
 from ..utils.distances import pairwise_topk
 from ..utils.exceptions import NotFittedError
 from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
 
 
-class BruteForceIndex:
+@register_index(
+    "bruteforce",
+    capabilities=IndexCapabilities(
+        metrics=("euclidean", "sqeuclidean", "cosine"),
+        probe_parameter=None,
+        exact=True,
+    ),
+    description="Exact k-NN by scanning the entire dataset",
+)
+class BruteForceIndex(RegisteredIndex):
     """Exact k-NN by scanning the entire dataset."""
 
     def __init__(self, *, metric: str = "euclidean", block_size: int = 1024) -> None:
@@ -58,3 +69,14 @@ class BruteForceIndex:
     def query(self, query: np.ndarray, k: int = 10) -> Tuple[np.ndarray, np.ndarray]:
         indices, distances = self.batch_query(np.atleast_2d(query), k)
         return indices[0], distances[0]
+
+    # ------------------------------------------------------------------ #
+    def _state(self):
+        config = {"metric": self.metric, "block_size": int(self.block_size)}
+        return config, {"__base__": self._base}, {}
+
+    @classmethod
+    def _from_state(cls, config, arrays, load_child):
+        index = cls(metric=str(config["metric"]), block_size=int(config["block_size"]))
+        index._base = arrays["__base__"]
+        return index

@@ -14,6 +14,8 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..api.protocol import IndexCapabilities, RegisteredIndex
+from ..api.registry import register_index
 from ..baselines.kmeans import KMeans
 from ..utils.distances import squared_euclidean
 from ..utils.exceptions import NotFittedError, ValidationError
@@ -21,8 +23,19 @@ from ..utils.rng import SeedLike
 from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
 from .pq import ProductQuantizer
 
+_IVF_CAPABILITIES = IndexCapabilities(
+    metrics=("euclidean",),
+    probe_parameter="n_probes",
+    trainable=True,
+)
 
-class IVFFlatIndex:
+
+@register_index(
+    "ivf-flat",
+    capabilities=_IVF_CAPABILITIES,
+    description="Inverted-file index with exact in-cell distances",
+)
+class IVFFlatIndex(RegisteredIndex):
     """Inverted file index with exact in-cell distances."""
 
     def __init__(
@@ -120,7 +133,52 @@ class IVFFlatIndex:
             indices[i], distances[i] = self.query(query, k, n_probes=n_probes)
         return indices, distances
 
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _cell_labels(self) -> np.ndarray:
+        labels = np.empty(self.n_points, dtype=np.int64)
+        for cell, members in enumerate(self._lists):
+            labels[members] = cell
+        return labels
 
+    def _state(self):
+        config = {
+            "n_lists": int(self.n_lists),
+            "kmeans_iterations": int(self.kmeans_iterations),
+            "build_seconds": self.build_seconds,
+        }
+        arrays = {
+            "__base__": self._base,
+            "centroids": self._centroids,
+            "labels": self._cell_labels(),
+        }
+        return config, arrays, {}
+
+    def _restore_lists(self, arrays) -> None:
+        self._base = arrays["__base__"]
+        self._centroids = arrays["centroids"]
+        labels = arrays["labels"]
+        self._lists = [
+            np.where(labels == i)[0] for i in range(self._centroids.shape[0])
+        ]
+
+    @classmethod
+    def _from_state(cls, config, arrays, load_child):
+        index = cls(
+            int(config["n_lists"]),
+            kmeans_iterations=int(config["kmeans_iterations"]),
+        )
+        index._restore_lists(arrays)
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        return index
+
+
+@register_index(
+    "ivf-pq",
+    capabilities=_IVF_CAPABILITIES,
+    description="IVF with product-quantized residuals (the FAISS baseline)",
+)
 class IVFPQIndex(IVFFlatIndex):
     """IVF with product-quantized residuals and exact re-ranking.
 
@@ -203,3 +261,39 @@ class IVFPQIndex(IVFFlatIndex):
         indices[:top] = shortlist[order]
         dists[:top] = np.sqrt(exact[order])
         return indices, dists
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _state(self):
+        config, arrays, children = super()._state()
+        config.update(
+            {
+                "n_subspaces": int(self.n_subspaces),
+                "n_codewords": int(self.n_codewords),
+                "rerank_factor": int(self.rerank_factor),
+            }
+        )
+        arrays["pq.codebooks"] = self._pq.codebooks
+        arrays["pq.codes"] = self._codes
+        return config, arrays, children
+
+    @classmethod
+    def _from_state(cls, config, arrays, load_child):
+        index = cls(
+            int(config["n_lists"]),
+            n_subspaces=int(config["n_subspaces"]),
+            n_codewords=int(config["n_codewords"]),
+            rerank_factor=int(config["rerank_factor"]),
+            kmeans_iterations=int(config["kmeans_iterations"]),
+        )
+        index._restore_lists(arrays)
+        codebooks = arrays["pq.codebooks"]
+        pq = ProductQuantizer(codebooks.shape[0], codebooks.shape[1])
+        pq.codebooks = codebooks
+        pq._sub_dim = int(codebooks.shape[2])
+        index._pq = pq
+        index._codes = arrays["pq.codes"]
+        index._cell_of = arrays["labels"]
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        return index

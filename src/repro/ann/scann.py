@@ -19,6 +19,8 @@ from typing import List, Optional, Protocol, Tuple
 
 import numpy as np
 
+from ..api.protocol import IndexCapabilities, RegisteredIndex
+from ..api.registry import register_index
 from ..baselines.kmeans import KMeansIndex
 from ..core.config import EnsembleConfig, UspConfig
 from ..core.ensemble import UspEnsembleIndex
@@ -42,7 +44,7 @@ class PartitionerProtocol(Protocol):
         ...
 
 
-class ScannSearcher:
+class ScannSearcher(RegisteredIndex):
     """Partition -> anisotropic-quantized scan -> exact re-rank pipeline.
 
     Parameters
@@ -162,6 +164,53 @@ class ScannSearcher:
         indices, distances = self.batch_query(np.atleast_2d(query), k, n_probes=n_probes)
         return indices[0], distances[0]
 
+    # ------------------------------------------------------------------ #
+    # persistence: the codec arrays live here, the partitioner (if any) is
+    # a nested saved index dispatched through its own registry name
+    # ------------------------------------------------------------------ #
+    def _state(self):
+        config = {
+            "n_subspaces": int(self.n_subspaces),
+            "n_codewords": int(self.n_codewords),
+            "anisotropic_eta": float(self.anisotropic_eta),
+            "rerank_factor": int(self.rerank_factor),
+            "build_seconds": self.build_seconds,
+            "has_partitioner": self.partitioner is not None,
+        }
+        arrays = {
+            "__base__": self._base,
+            "codes": self._codes,
+            "codec.codebooks": self._codec.codebooks,
+        }
+        children = {}
+        if self.partitioner is not None:
+            children["partitioner"] = self.partitioner
+        return config, arrays, children
+
+    @classmethod
+    def _from_state(cls, config, arrays, load_child):
+        partitioner = load_child("partitioner") if config.get("has_partitioner") else None
+        searcher = cls(
+            partitioner,
+            n_subspaces=int(config["n_subspaces"]),
+            n_codewords=int(config["n_codewords"]),
+            anisotropic_eta=float(config["anisotropic_eta"]),
+            rerank_factor=int(config["rerank_factor"]),
+        )
+        codebooks = arrays["codec.codebooks"]
+        codec = AnisotropicQuantizer(
+            codebooks.shape[0],
+            codebooks.shape[1],
+            eta=float(config["anisotropic_eta"]),
+        )
+        codec.codebooks = codebooks
+        codec._sub_dim = int(codebooks.shape[2])
+        searcher._codec = codec
+        searcher._codes = arrays["codes"]
+        searcher._base = arrays["__base__"]
+        searcher.build_seconds = float(config.get("build_seconds", 0.0))
+        return searcher
+
 
 # ---------------------------------------------------------------------- #
 # The three pipelines compared in Figure 7
@@ -232,3 +281,39 @@ def usp_scann(
         rerank_factor=rerank_factor,
         seed=seed,
     )
+
+
+# ---------------------------------------------------------------------- #
+# Registry entries: the Figure 7 pipelines are registered *configurations*
+# of ScannSearcher rather than ad-hoc helper functions, so harnesses can
+# construct them by name like any other index.
+# ---------------------------------------------------------------------- #
+_SCANN_CAPABILITIES = IndexCapabilities(
+    metrics=("euclidean",),
+    probe_parameter="n_probes",
+    trainable=True,
+)
+
+register_index(
+    "scann",
+    cls=ScannSearcher,
+    capabilities=_SCANN_CAPABILITIES,
+    description="Vanilla ScaNN: full anisotropic-quantized scan + re-rank",
+    aliases=("vanilla-scann",),
+)(vanilla_scann)
+
+register_index(
+    "kmeans-scann",
+    cls=ScannSearcher,
+    capabilities=_SCANN_CAPABILITIES,
+    description="K-means partitioning in front of the ScaNN codec",
+    aliases=("scann-kmeans",),
+)(kmeans_scann)
+
+register_index(
+    "usp-scann",
+    cls=ScannSearcher,
+    capabilities=_SCANN_CAPABILITIES,
+    description="The paper's USP + ScaNN pipeline (single model or ensemble)",
+    aliases=("scann-usp",),
+)(usp_scann)

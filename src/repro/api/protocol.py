@@ -1,0 +1,142 @@
+"""The :class:`AnnIndex` protocol and the capabilities descriptor.
+
+Every index in this repository — the USP partitioner, the learned and
+classical baselines, and the full ANN pipelines — follows the same
+structural contract: ``build(base)`` runs the offline phase and returns
+``self``; ``query`` / ``batch_query`` answer nearest-neighbour requests;
+``stats()`` reports introspection data.  :class:`IndexCapabilities`
+describes the per-class differences (supported metrics, the name of the
+probe knob, whether the method learns parameters) so harnesses can drive
+any registered index without special-casing.
+"""
+
+from __future__ import annotations
+
+import warnings
+from dataclasses import asdict, dataclass
+from typing import Any, ClassVar, Dict, Optional, Protocol, Tuple, runtime_checkable
+
+import numpy as np
+
+from .persistence import PersistentIndexMixin
+
+
+@dataclass(frozen=True)
+class IndexCapabilities:
+    """What a registered index can do and how to drive it.
+
+    Parameters
+    ----------
+    metrics:
+        Distance metrics the index supports for re-ranking.
+    probe_parameter:
+        Name of the keyword controlling the accuracy/cost trade-off at
+        query time: ``"n_probes"`` for partition/IVF methods, ``"ef"`` for
+        HNSW, ``None`` when there is no knob (exact brute force).
+    supports_candidate_sets:
+        True when the index exposes ``candidate_sets(queries, n_probes)``
+        (every space-partitioning method; required by the sweep harness
+        and by the ScaNN pipeline).
+    trainable:
+        True when the offline phase learns parameters from the data
+        (models, centroids, hyperplanes) rather than drawing them blindly.
+    reports_parameter_count:
+        True when ``num_parameters()`` returns the Table-2 style count of
+        stored/learned parameters.
+    exact:
+        True when query results are exact rather than approximate.
+    """
+
+    metrics: Tuple[str, ...] = ("euclidean",)
+    probe_parameter: Optional[str] = "n_probes"
+    supports_candidate_sets: bool = False
+    trainable: bool = False
+    reports_parameter_count: bool = False
+    exact: bool = False
+
+    def supports_metric(self, metric: str) -> bool:
+        return metric in self.metrics
+
+    def as_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+
+@runtime_checkable
+class AnnIndex(Protocol):
+    """Structural protocol shared by every registered index."""
+
+    capabilities: ClassVar[IndexCapabilities]
+
+    def build(self, base: np.ndarray, **kwargs) -> "AnnIndex":  # pragma: no cover
+        ...
+
+    def query(self, query: np.ndarray, k: int = 10, **kwargs):  # pragma: no cover
+        ...
+
+    def batch_query(self, queries: np.ndarray, k: int = 10, **kwargs):  # pragma: no cover
+        ...
+
+    def stats(self) -> Dict[str, Any]:  # pragma: no cover
+        ...
+
+
+def basic_index_stats(index) -> Dict[str, Any]:
+    """Collect the introspection attributes an index actually exposes.
+
+    Shared implementation behind every ``stats()`` method: attributes that
+    are unavailable (or raise because the index is not built) are simply
+    omitted, so the result is always safe to serialise and log.
+    """
+    stats: Dict[str, Any] = {"class": type(index).__name__}
+    name = getattr(type(index), "_registry_name", None)
+    if name:
+        stats["name"] = name
+    stats["is_built"] = bool(getattr(index, "is_built", False))
+    for attr in ("n_points", "dim", "n_bins", "n_models", "n_trees"):
+        try:
+            value = getattr(index, attr)
+        except Exception:
+            continue
+        if isinstance(value, (int, np.integer)):
+            stats[attr] = int(value)
+    for attr in ("build_seconds",):
+        value = getattr(index, attr, None)
+        if isinstance(value, (int, float)) and value:
+            stats[attr] = float(value)
+    for method in ("num_parameters", "training_seconds"):
+        fn = getattr(index, method, None)
+        if fn is None:
+            continue
+        try:
+            stats[method] = fn()
+        except Exception:
+            pass
+    capabilities = getattr(type(index), "capabilities", None)
+    if isinstance(capabilities, IndexCapabilities):
+        stats["capabilities"] = capabilities.as_dict()
+    return stats
+
+
+class RegisteredIndex(PersistentIndexMixin):
+    """Mixin inherited by every concrete index class.
+
+    Provides the protocol's ``stats()``, the ``save``/``load`` persistence
+    machinery (via :class:`PersistentIndexMixin`), and the deprecated
+    ``fit`` alias kept for callers written against the pre-registry API.
+    """
+
+    #: populated by :func:`repro.api.registry.register_index`
+    capabilities: ClassVar[IndexCapabilities] = IndexCapabilities()
+
+    def stats(self) -> Dict[str, Any]:
+        """Introspection data: size, timings, parameter counts, capabilities."""
+        return basic_index_stats(self)
+
+    def fit(self, base: np.ndarray, **kwargs):
+        """Deprecated alias for :meth:`build` (indexes build, codecs fit)."""
+        warnings.warn(
+            f"{type(self).__name__}.fit() is deprecated; use build()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.build(base, **kwargs)

@@ -23,12 +23,14 @@ from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..api.protocol import IndexCapabilities, RegisteredIndex
+from ..api.registry import register_index
 from ..core.base import rerank_candidates
 from ..core.knn_matrix import KnnMatrix, build_knn_matrix
 from ..utils.exceptions import NotFittedError
 from ..utils.rng import SeedLike, resolve_rng, spawn_rngs
 from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
-from .trees import HyperplaneTreeIndex
+from .trees import HyperplaneTreeIndex, pack_tree_nodes, unpack_tree_nodes
 
 
 class _WeightedPcaTree(HyperplaneTreeIndex):
@@ -86,7 +88,18 @@ class _WeightedPcaTree(HyperplaneTreeIndex):
         return np.ones(points.shape[0], dtype=np.float64)
 
 
-class BoostedSearchForestIndex:
+@register_index(
+    "boosted-forest",
+    capabilities=IndexCapabilities(
+        metrics=("euclidean",),
+        probe_parameter="n_probes",
+        supports_candidate_sets=True,
+        trainable=True,
+        reports_parameter_count=True,
+    ),
+    description="Boosted Search Forest: re-weighted hyperplane trees (Li et al. 2011)",
+)
+class BoostedSearchForestIndex(RegisteredIndex):
     """Ensemble of boosted hyperplane trees with confidence-based querying."""
 
     def __init__(
@@ -182,3 +195,46 @@ class BoostedSearchForestIndex:
     def num_parameters(self) -> int:
         self._require_built()
         return int(sum(tree.num_parameters() for tree in self.trees))
+
+    # ------------------------------------------------------------------ #
+    # persistence: each tree's hyperplanes + assignments are stored flat;
+    # restored trees are plain HyperplaneTreeIndex routers (split rules are
+    # only needed during build)
+    # ------------------------------------------------------------------ #
+    def _state(self):
+        config = {
+            "n_trees": int(len(self.trees)),
+            "depth": int(self.depth),
+            "k_prime": int(self.k_prime),
+            "metric": self.metric,
+            "build_seconds": self.build_seconds,
+        }
+        arrays = {"__base__": self._base}
+        for t, tree in enumerate(self.trees):
+            arrays[f"tree{t}.assignments"] = tree.assignments
+            for key, value in pack_tree_nodes(
+                tree._nodes, tree._margin_scales, self.dim
+            ).items():
+                arrays[f"tree{t}.{key}"] = value
+        return config, arrays, {}
+
+    @classmethod
+    def _from_state(cls, config, arrays, load_child):
+        index = cls(
+            int(config["n_trees"]),
+            int(config["depth"]),
+            k_prime=int(config["k_prime"]),
+        )
+        index.metric = str(config["metric"])
+        base = arrays["__base__"]
+        index.trees = []
+        for t in range(int(config["n_trees"])):
+            tree = HyperplaneTreeIndex(int(config["depth"]))
+            tree._nodes, tree._margin_scales = unpack_tree_nodes(arrays, f"tree{t}.")
+            tree._finalize_build(
+                base, arrays[f"tree{t}.assignments"], 2 ** int(config["depth"])
+            )
+            index.trees.append(tree)
+        index._base = base
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        return index

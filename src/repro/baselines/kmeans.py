@@ -13,6 +13,8 @@ from typing import Optional, Tuple
 
 import numpy as np
 
+from ..api.protocol import IndexCapabilities
+from ..api.registry import register_index
 from ..core.base import PartitionIndexBase
 from ..utils.distances import squared_euclidean
 from ..utils.exceptions import NotFittedError, ValidationError
@@ -158,6 +160,17 @@ class KMeans:
         return squared_euclidean(points, self.result.centroids).argmin(axis=1)
 
 
+@register_index(
+    "kmeans",
+    capabilities=IndexCapabilities(
+        metrics=("euclidean", "sqeuclidean", "cosine"),
+        probe_parameter="n_probes",
+        supports_candidate_sets=True,
+        trainable=True,
+        reports_parameter_count=True,
+    ),
+    description="K-means Voronoi partition (the ubiquitous baseline)",
+)
 class KMeansIndex(PartitionIndexBase):
     """Partition index whose bins are K-means Voronoi cells.
 
@@ -203,3 +216,30 @@ class KMeansIndex(PartitionIndexBase):
         """Stored parameters = centroid table (Table 2: m * d)."""
         self._require_built()
         return int(self._kmeans.centroids.size)
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _extra_state(self):
+        result = self._kmeans.result
+        config = {
+            "n_bins": int(self.n_bins_requested),
+            "inertia": float(result.inertia),
+            "n_iterations": int(result.n_iterations),
+            "converged": bool(result.converged),
+            "build_seconds": self.build_seconds,
+        }
+        return config, {"centroids": result.centroids}
+
+    @classmethod
+    def _restore(cls, config, arrays, load_child):
+        index = cls(int(config["n_bins"]))
+        index._kmeans.result = KMeansResult(
+            centroids=arrays["centroids"],
+            labels=arrays["__assignments__"],
+            inertia=float(config["inertia"]),
+            n_iterations=int(config["n_iterations"]),
+            converged=bool(config["converged"]),
+        )
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        return index

@@ -19,10 +19,20 @@ from typing import Optional
 
 import numpy as np
 
+from ..api.protocol import IndexCapabilities
+from ..api.registry import register_index
 from ..core.base import PartitionIndexBase
 from ..utils.exceptions import ValidationError
 from ..utils.rng import SeedLike, resolve_rng
 from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
+
+_LSH_CAPABILITIES = IndexCapabilities(
+    metrics=("euclidean", "sqeuclidean", "cosine"),
+    probe_parameter="n_probes",
+    supports_candidate_sets=True,
+    trainable=False,  # data-oblivious: random projections, no learning
+    reports_parameter_count=True,
+)
 
 
 def _random_rotation(dim: int, target_dim: int, rng: np.random.Generator) -> np.ndarray:
@@ -32,6 +42,11 @@ def _random_rotation(dim: int, target_dim: int, rng: np.random.Generator) -> np.
     return q[:, :target_dim]
 
 
+@register_index(
+    "cross-polytope-lsh",
+    capabilities=_LSH_CAPABILITIES,
+    description="Cross-polytope LSH partition (Andoni et al. 2015)",
+)
 class CrossPolytopeLshIndex(PartitionIndexBase):
     """Cross-polytope LSH partition with ``2 * n_projections`` bins.
 
@@ -89,7 +104,25 @@ class CrossPolytopeLshIndex(PartitionIndexBase):
         self._require_built()
         return int(self._rotation.size + self._center.size)
 
+    # ------------------------------------------------------------------ #
+    def _extra_state(self):
+        config = {"n_bins": int(self.n_bins_requested), "build_seconds": self.build_seconds}
+        return config, {"rotation": self._rotation, "center": self._center}
 
+    @classmethod
+    def _restore(cls, config, arrays, load_child):
+        index = cls(int(config["n_bins"]))
+        index._rotation = arrays["rotation"]
+        index._center = arrays["center"]
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        return index
+
+
+@register_index(
+    "hyperplane-lsh",
+    capabilities=_LSH_CAPABILITIES,
+    description="Sign-random-projection LSH with multi-probe bit flips",
+)
 class HyperplaneLshIndex(PartitionIndexBase):
     """Sign-random-projection LSH with ``2 ** n_hyperplanes`` bins."""
 
@@ -152,3 +185,19 @@ class HyperplaneLshIndex(PartitionIndexBase):
     def num_parameters(self) -> int:
         self._require_built()
         return int(self._hyperplanes.size + self._center.size)
+
+    # ------------------------------------------------------------------ #
+    def _extra_state(self):
+        config = {
+            "n_hyperplanes": int(self.n_hyperplanes),
+            "build_seconds": self.build_seconds,
+        }
+        return config, {"hyperplanes": self._hyperplanes, "center": self._center}
+
+    @classmethod
+    def _restore(cls, config, arrays, load_child):
+        index = cls(int(config["n_hyperplanes"]))
+        index._hyperplanes = arrays["hyperplanes"]
+        index._center = arrays["center"]
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        return index

@@ -18,11 +18,13 @@ regression classifier.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Optional, Tuple
 
 import numpy as np
 
+from ..api.protocol import IndexCapabilities
+from ..api.registry import register_index
 from ..core.base import PartitionIndexBase
 from ..core.knn_matrix import KnnMatrix, build_knn_matrix
 from ..nn import Adam, EpochBatchIterator, Tensor, cross_entropy
@@ -31,6 +33,29 @@ from ..utils.exceptions import ValidationError
 from ..utils.rng import SeedLike, resolve_rng, spawn_rngs
 from ..utils.timing import Stopwatch
 from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
+
+_NEURAL_LSH_CAPABILITIES = IndexCapabilities(
+    metrics=("euclidean", "sqeuclidean", "cosine"),
+    probe_parameter="n_probes",
+    supports_candidate_sets=True,
+    trainable=True,
+    reports_parameter_count=True,
+)
+
+
+def _build_classifier_module(dim: int, config: "NeuralLshConfig", rng=None):
+    """The classifier architecture described by ``config`` (mlp or logistic)."""
+    if config.model == "mlp":
+        return build_mlp_module(
+            dim,
+            config.n_bins,
+            hidden_dim=config.hidden_dim,
+            dropout=config.dropout,
+            rng=rng,
+        )
+    if config.model == "logistic":
+        return build_logistic_module(dim, config.n_bins, rng=rng)
+    raise ValidationError(f"unknown model type {config.model!r}")
 
 
 @dataclass(frozen=True)
@@ -56,6 +81,11 @@ class NeuralLshConfig:
     seed: int = 0
 
 
+@register_index(
+    "neural-lsh",
+    capabilities=_NEURAL_LSH_CAPABILITIES,
+    description="Neural LSH: balanced graph partition + neural router (Dong et al. 2020)",
+)
 class NeuralLshIndex(PartitionIndexBase):
     """Supervised graph-partition + classifier baseline (Neural LSH)."""
 
@@ -108,18 +138,7 @@ class NeuralLshIndex(PartitionIndexBase):
         """Supervised training of the bin classifier on the partition labels."""
         config = self.config
         rng = resolve_rng(config.seed)
-        if config.model == "mlp":
-            module = build_mlp_module(
-                base.shape[1],
-                config.n_bins,
-                hidden_dim=config.hidden_dim,
-                dropout=config.dropout,
-                rng=rng,
-            )
-        elif config.model == "logistic":
-            module = build_logistic_module(base.shape[1], config.n_bins, rng=rng)
-        else:
-            raise ValidationError(f"unknown model type {config.model!r}")
+        module = _build_classifier_module(base.shape[1], config, rng=rng)
         model = PartitionModel(module, dim=base.shape[1], n_bins=config.n_bins)
         optimizer = Adam(model.parameters(), lr=config.learning_rate)
         iterator = EpochBatchIterator(base, config.batch_size, rng=rng)
@@ -153,7 +172,58 @@ class NeuralLshIndex(PartitionIndexBase):
         """Graph-partitioning time — the expensive step USP eliminates."""
         return self.partition_seconds
 
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _extra_state(self):
+        config = {
+            "config": asdict(self.config),
+            "edge_cut": None if self.edge_cut is None else int(self.edge_cut),
+            "build_seconds": self.build_seconds,
+            "partition_seconds": self.partition_seconds,
+            "training_time": self.training_time,
+        }
+        arrays = {
+            f"model.{key}": value for key, value in self.model.state_dict().items()
+        }
+        return config, arrays
 
+    @classmethod
+    def _restore(cls, config, arrays, load_child):
+        lsh_config = NeuralLshConfig(**config["config"])
+        index = cls(lsh_config)
+        dim = int(arrays["__base__"].shape[1])
+        index.model = _load_classifier(
+            lsh_config,
+            dim,
+            {
+                key[len("model.") :]: value
+                for key, value in arrays.items()
+                if key.startswith("model.")
+            },
+        )
+        index.edge_cut = config.get("edge_cut")
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        index.partition_seconds = float(config.get("partition_seconds", 0.0))
+        index.training_time = float(config.get("training_time", 0.0))
+        return index
+
+
+def _load_classifier(config: NeuralLshConfig, dim: int, state) -> PartitionModel:
+    """Rebuild a classifier from ``config`` and load its saved parameters."""
+    model = PartitionModel(
+        _build_classifier_module(dim, config), dim=dim, n_bins=config.n_bins
+    )
+    model.load_state_dict(state)
+    model.eval()
+    return model
+
+
+@register_index(
+    "regression-lsh",
+    capabilities=_NEURAL_LSH_CAPABILITIES,
+    description="Regression LSH: recursive 2-way Neural LSH with logistic routers",
+)
 class RegressionLshIndex(PartitionIndexBase):
     """Regression LSH: recursive 2-way Neural LSH with logistic regression.
 
@@ -278,3 +348,60 @@ class RegressionLshIndex(PartitionIndexBase):
         return int(
             sum(node.num_parameters() for node in self._nodes if node is not None)
         )
+
+    # ------------------------------------------------------------------ #
+    # persistence: only each node's router model is needed at query time,
+    # so nodes are stored as flat model states and restored router-only
+    # ------------------------------------------------------------------ #
+    def _extra_state(self):
+        config = {
+            "depth": int(self.depth),
+            "k_prime": int(self.k_prime),
+            "epochs": int(self.epochs),
+            "learning_rate": float(self.learning_rate),
+            "seed": int(self.seed),
+            "build_seconds": self.build_seconds,
+            "nodes": [i for i, node in enumerate(self._nodes) if node is not None],
+        }
+        arrays = {}
+        for i, node in enumerate(self._nodes):
+            if node is None:
+                continue
+            for key, value in node.model.state_dict().items():
+                arrays[f"node{i}.model.{key}"] = value
+        return config, arrays
+
+    @classmethod
+    def _restore(cls, config, arrays, load_child):
+        index = cls(
+            int(config["depth"]),
+            k_prime=int(config["k_prime"]),
+            epochs=int(config["epochs"]),
+            learning_rate=float(config["learning_rate"]),
+            seed=int(config["seed"]),
+        )
+        dim = int(arrays["__base__"].shape[1])
+        n_internal = 2 ** index.depth - 1
+        index._nodes = [None] * n_internal
+        node_config = NeuralLshConfig(n_bins=2, model="logistic")
+        for i in config["nodes"]:
+            prefix = f"node{i}.model."
+            node = NeuralLshIndex(node_config)
+            node.model = _load_classifier(
+                node_config,
+                dim,
+                {
+                    key[len(prefix) :]: value
+                    for key, value in arrays.items()
+                    if key.startswith(prefix)
+                },
+            )
+            # Mark the node as a query-time router only: bin_scores needs a
+            # built index but never touches the (subset) training data.
+            node._base = np.empty((0, dim), dtype=np.float64)
+            node._assignments = np.empty(0, dtype=np.int64)
+            node._lookup = [np.empty(0, dtype=np.int64)] * 2
+            node._n_bins = 2
+            index._nodes[int(i)] = node
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        return index

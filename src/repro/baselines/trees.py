@@ -25,6 +25,8 @@ from typing import Callable, List, Optional, Tuple
 
 import numpy as np
 
+from ..api.protocol import IndexCapabilities
+from ..api.registry import register_index
 from ..core.base import PartitionIndexBase
 from ..utils.exceptions import ValidationError
 from ..utils.rng import SeedLike, resolve_rng
@@ -34,11 +36,57 @@ from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_
 #: points with ``x @ normal <= offset`` go left.
 SplitRule = Callable[[np.ndarray, np.random.Generator], Tuple[np.ndarray, float]]
 
+_TREE_CAPABILITIES = IndexCapabilities(
+    metrics=("euclidean", "sqeuclidean", "cosine"),
+    probe_parameter="n_probes",
+    supports_candidate_sets=True,
+    trainable=True,
+    reports_parameter_count=True,
+)
+
 
 @dataclass
 class _SplitNode:
     normal: Optional[np.ndarray]
     offset: float
+
+
+def pack_tree_nodes(
+    nodes: List[Optional[_SplitNode]], margin_scales: List[float], dim: int
+) -> dict:
+    """Flatten a hyperplane tree's node list into dense numpy arrays.
+
+    Shared by the tree indexes and the boosted forest so both serialise
+    through the same npz layout.
+    """
+    n_internal = len(nodes)
+    mask = np.zeros(n_internal, dtype=bool)
+    normals = np.zeros((n_internal, dim), dtype=np.float64)
+    offsets = np.zeros(n_internal, dtype=np.float64)
+    for i, node in enumerate(nodes):
+        if node is not None and node.normal is not None:
+            mask[i] = True
+            normals[i] = node.normal
+            offsets[i] = node.offset
+    return {
+        "node_mask": mask,
+        "node_normals": normals,
+        "node_offsets": offsets,
+        "margin_scales": np.asarray(margin_scales, dtype=np.float64),
+    }
+
+
+def unpack_tree_nodes(arrays: dict, prefix: str = "") -> Tuple[List[Optional[_SplitNode]], List[float]]:
+    """Inverse of :func:`pack_tree_nodes` (``prefix`` selects npz keys)."""
+    mask = arrays[f"{prefix}node_mask"]
+    normals = arrays[f"{prefix}node_normals"]
+    offsets = arrays[f"{prefix}node_offsets"]
+    nodes: List[Optional[_SplitNode]] = [
+        _SplitNode(normal=normals[i].copy(), offset=float(offsets[i])) if mask[i] else None
+        for i in range(mask.shape[0])
+    ]
+    margin_scales = [float(v) for v in arrays[f"{prefix}margin_scales"]]
+    return nodes, margin_scales
 
 
 class HyperplaneTreeIndex(PartitionIndexBase):
@@ -154,7 +202,24 @@ class HyperplaneTreeIndex(PartitionIndexBase):
             sum(node.normal.size + 1 for node in self._nodes if node is not None)
         )
 
+    # ------------------------------------------------------------------ #
+    def _extra_state(self):
+        config = {"depth": int(self.depth), "build_seconds": self.build_seconds}
+        return config, pack_tree_nodes(self._nodes, self._margin_scales, self.dim)
 
+    @classmethod
+    def _restore(cls, config, arrays, load_child):
+        index = cls(int(config["depth"]))
+        index._nodes, index._margin_scales = unpack_tree_nodes(arrays)
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        return index
+
+
+@register_index(
+    "pca-tree",
+    capabilities=_TREE_CAPABILITIES,
+    description="PCA tree: median split along the top principal component",
+)
 class PcaTreeIndex(HyperplaneTreeIndex):
     """PCA tree: split along the top principal component at the median."""
 
@@ -177,6 +242,11 @@ class PcaTreeIndex(HyperplaneTreeIndex):
         return direction, float(np.median(projections))
 
 
+@register_index(
+    "rp-tree",
+    capabilities=_TREE_CAPABILITIES,
+    description="Random-projection tree: random direction, median split",
+)
 class RandomProjectionTreeIndex(HyperplaneTreeIndex):
     """Random projection tree: random direction, median split."""
 
@@ -189,6 +259,11 @@ class RandomProjectionTreeIndex(HyperplaneTreeIndex):
         return direction, float(np.median(projections))
 
 
+@register_index(
+    "kd-tree",
+    capabilities=_TREE_CAPABILITIES,
+    description="Learned KD-tree: axis of maximum variance, median split",
+)
 class KdTreeIndex(HyperplaneTreeIndex):
     """Learned KD-tree: axis of maximum variance, median split."""
 
@@ -202,6 +277,11 @@ class KdTreeIndex(HyperplaneTreeIndex):
         return direction, float(np.median(points[:, axis]))
 
 
+@register_index(
+    "two-means-tree",
+    capabilities=_TREE_CAPABILITIES,
+    description="2-means tree: hyperplane bisecting the two 2-means centroids",
+)
 class TwoMeansTreeIndex(HyperplaneTreeIndex):
     """2-means tree: hyperplane bisecting the two 2-means centroids."""
 

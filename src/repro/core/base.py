@@ -11,10 +11,11 @@ was assigned to bins during the offline phase).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.protocol import RegisteredIndex
 from ..utils.distances import get_metric
 from ..utils.exceptions import NotFittedError, ValidationError
 from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
@@ -52,11 +53,15 @@ def rerank_candidates(
     return out_indices, out_distances
 
 
-class PartitionIndexBase:
+class PartitionIndexBase(RegisteredIndex):
     """Base class: stores the dataset, bin assignments, and a lookup table.
 
     Subclasses must call :meth:`_finalize_build` at the end of their
-    ``build`` method and implement :meth:`bin_scores`.
+    ``build`` method and implement :meth:`bin_scores`.  Persistence
+    (:meth:`save` / :meth:`load`, inherited from
+    :class:`~repro.api.protocol.RegisteredIndex`) is implemented here once
+    for the shared state; subclasses add their scoring state through the
+    :meth:`_extra_state` / :meth:`_restore` hooks.
     """
 
     #: metric used for the final candidate re-ranking
@@ -153,12 +158,41 @@ class PartitionIndexBase:
         scores = self.bin_scores(queries)
         return np.argsort(-scores, axis=1, kind="stable")
 
+    def top_bins(self, queries: np.ndarray, n_probes: int) -> np.ndarray:
+        """The ``n_probes`` most probable bins per query, best first.
+
+        Online-phase hot path: selects the top bins with ``argpartition``
+        (O(m) per query) and only orders that small subset, instead of
+        sorting all ``m`` bin scores as :meth:`ranked_bins` does.  The
+        result is always identical to ``ranked_bins(...)[:, :n_probes]``:
+        rows whose selection boundary falls inside a run of tied scores
+        (where argpartition's choice is arbitrary) fall back to the full
+        stable sort so ties keep resolving towards the lower bin id.
+        """
+        scores = self.bin_scores(queries)
+        n_bins = scores.shape[1]
+        n_probes = min(int(n_probes), n_bins)
+        if n_probes >= n_bins:
+            return np.argsort(-scores, axis=1, kind="stable")
+        top = np.argpartition(-scores, n_probes - 1, axis=1)[:, :n_probes]
+        top.sort(axis=1)
+        top_scores = np.take_along_axis(scores, top, axis=1)
+        order = np.argsort(-top_scores, axis=1, kind="stable")
+        ranked = np.take_along_axis(top, order, axis=1)
+        threshold = np.take_along_axis(scores, ranked[:, -1:], axis=1)
+        ambiguous = (scores >= threshold).sum(axis=1) > n_probes
+        if ambiguous.any():
+            ranked[ambiguous] = np.argsort(
+                -scores[ambiguous], axis=1, kind="stable"
+            )[:, :n_probes]
+        return ranked
+
     def candidate_sets(self, queries: np.ndarray, n_probes: int = 1) -> List[np.ndarray]:
         """Candidate point indices for each query from its top ``n_probes`` bins."""
         self._require_built()
         queries = as_query_matrix(queries, self.dim)
         n_probes = min(check_positive_int(n_probes, "n_probes"), self.n_bins)
-        ranked = self.ranked_bins(queries)[:, :n_probes]
+        ranked = self.top_bins(queries, n_probes)
         candidates: List[np.ndarray] = []
         for row in ranked:
             buckets = [self._lookup[bin_id] for bin_id in row]
@@ -190,3 +224,40 @@ class PartitionIndexBase:
         return rerank_candidates(
             self._base, queries, candidate_lists, k, metric=self.metric
         )
+
+    # ------------------------------------------------------------------ #
+    # persistence (repro.api.persistence hooks)
+    # ------------------------------------------------------------------ #
+    def _extra_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        """Subclass hook: (JSON-able config, numpy arrays) beyond the shared state."""
+        return {}, {}
+
+    @classmethod
+    def _restore(
+        cls,
+        config: Mapping[str, Any],
+        arrays: Mapping[str, np.ndarray],
+        load_child: Callable[[str], Any],
+    ) -> "PartitionIndexBase":
+        """Subclass hook: rebuild an *unbuilt* instance from the extra state."""
+        raise NotImplementedError(f"{cls.__name__} does not implement _restore")
+
+    def _state(self):
+        self._require_built()
+        config, arrays = self._extra_state()
+        config = dict(config)
+        arrays = dict(arrays)
+        config["__n_bins__"] = int(self._n_bins)
+        config["__metric__"] = self.metric
+        arrays["__base__"] = self._base
+        arrays["__assignments__"] = self._assignments
+        return config, arrays, {}
+
+    @classmethod
+    def _from_state(cls, config, arrays, load_child):
+        index = cls._restore(config, arrays, load_child)
+        index._finalize_build(
+            arrays["__base__"], arrays["__assignments__"], int(config["__n_bins__"])
+        )
+        index.metric = str(config["__metric__"])
+        return index

@@ -11,10 +11,13 @@ bin probability); the candidate set of the most confident model is searched
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.protocol import IndexCapabilities, RegisteredIndex
+from ..api.registry import register_index
 from ..utils.exceptions import NotFittedError
 from ..utils.rng import spawn_rngs
 from ..utils.timing import Stopwatch
@@ -46,7 +49,34 @@ def boosting_weights(
     return mismatches * previous_weights
 
 
-class UspEnsembleIndex:
+def _make_usp_ensemble(
+    config: Optional[EnsembleConfig] = None,
+    *,
+    n_models: int = 3,
+    combination: str = "best",
+    **params,
+) -> "UspEnsembleIndex":
+    """Registry factory: flat USP params plus ``n_models``/``combination``."""
+    if config is None:
+        config = EnsembleConfig(
+            n_models=n_models, base=UspConfig(**params), combination=combination
+        )
+    return UspEnsembleIndex(config)
+
+
+@register_index(
+    "usp-ensemble",
+    factory=_make_usp_ensemble,
+    capabilities=IndexCapabilities(
+        metrics=("euclidean", "sqeuclidean", "cosine"),
+        probe_parameter="n_probes",
+        supports_candidate_sets=True,
+        trainable=True,
+        reports_parameter_count=True,
+    ),
+    description="Boosted ensemble of USP partitions (Algorithms 3 and 4)",
+)
+class UspEnsembleIndex(RegisteredIndex):
     """Ensemble of :class:`UspIndex` members with boosting weights.
 
     The public API mirrors :class:`~repro.core.base.PartitionIndexBase`
@@ -192,3 +222,40 @@ class UspEnsembleIndex:
         """Total wall-clock training time across members (Table 3)."""
         self._require_built()
         return float(sum(member.training_seconds() for member in self.members))
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _state(self):
+        config = {
+            "n_models": int(len(self.members)),
+            "combination": self.config.combination,
+            "base": asdict(self.config.base),
+            "build_seconds": self.build_seconds,
+        }
+        arrays = {"__base__": self._base}
+        for j, weights in enumerate(self.weight_history):
+            arrays[f"weights.{j}"] = weights
+        children = {f"member-{j}": member for j, member in enumerate(self.members)}
+        return config, arrays, children
+
+    @classmethod
+    def _from_state(cls, config, arrays, load_child):
+        ensemble_config = EnsembleConfig(
+            n_models=int(config["n_models"]),
+            base=UspConfig(**config["base"]),
+            combination=str(config["combination"]),
+        )
+        index = cls(ensemble_config)
+        index.members = [
+            load_child(f"member-{j}") for j in range(ensemble_config.n_models)
+        ]
+        index.weight_history = [
+            arrays[key] for key in sorted(
+                (k for k in arrays if k.startswith("weights.")),
+                key=lambda k: int(k.split(".", 1)[1]),
+            )
+        ]
+        index._base = arrays["__base__"]
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        return index

@@ -12,11 +12,13 @@ Regression LSH / PCA trees / random-projection trees in Figure 6.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from ..api.protocol import IndexCapabilities
+from ..api.registry import register_index
 from ..utils.exceptions import NotFittedError
 from ..utils.rng import resolve_rng, spawn_rngs
 from ..utils.timing import Stopwatch
@@ -24,7 +26,7 @@ from ..utils.validation import as_float_matrix, as_query_matrix
 from .base import PartitionIndexBase
 from .config import HierarchicalConfig, UspConfig
 from .knn_matrix import build_knn_matrix
-from .models import PartitionModel
+from .models import PartitionModel, build_partition_model
 from .trainer import UspTrainer
 
 
@@ -46,6 +48,30 @@ class _TreeNode:
         return self.model.predict_proba(queries)
 
 
+def _make_hierarchical_usp(
+    config: Optional[HierarchicalConfig] = None,
+    *,
+    levels: Sequence[int] = (16, 16),
+    **params,
+) -> "HierarchicalUspIndex":
+    """Registry factory: ``levels`` plus flat USP params (or ``config=``)."""
+    if config is None:
+        config = HierarchicalConfig(levels=tuple(levels), base=UspConfig(**params))
+    return HierarchicalUspIndex(config)
+
+
+@register_index(
+    "usp-hierarchical",
+    factory=_make_hierarchical_usp,
+    capabilities=IndexCapabilities(
+        metrics=("euclidean", "sqeuclidean", "cosine"),
+        probe_parameter="n_probes",
+        supports_candidate_sets=True,
+        trainable=True,
+        reports_parameter_count=True,
+    ),
+    description="Tree of USP partition models (Section 4.4.2)",
+)
 class HierarchicalUspIndex(PartitionIndexBase):
     """A tree of USP partition models producing ``prod(levels)`` leaf bins."""
 
@@ -200,3 +226,79 @@ class HierarchicalUspIndex(PartitionIndexBase):
     def training_seconds(self) -> float:
         """Total wall-clock seconds spent training tree models."""
         return self.training_time
+
+    # ------------------------------------------------------------------ #
+    # persistence: the node tree is flattened into path-keyed entries
+    # ("root", "root-2", "root-2-0", ...) so it fits the npz + JSON format
+    # ------------------------------------------------------------------ #
+    def _extra_state(self):
+        nodes: List[dict] = []
+        arrays: dict = {}
+        stack = [("root", self._root)]
+        while stack:
+            path, node = stack.pop()
+            nodes.append(
+                {
+                    "path": path,
+                    "n_branches": int(node.n_branches),
+                    "n_parameters": int(node.n_parameters),
+                    "has_model": node.model is not None,
+                }
+            )
+            if node.model is not None:
+                for key, value in node.model.state_dict().items():
+                    arrays[f"tree.{path}.{key}"] = value
+            for branch, child in enumerate(node.children):
+                if child is not None:
+                    stack.append((f"{path}-{branch}", child))
+        config = {
+            "levels": list(self.config.levels),
+            "base": asdict(self.config.base),
+            "nodes": nodes,
+            "build_seconds": self.build_seconds,
+            "training_time": self.training_time,
+        }
+        return config, arrays
+
+    @classmethod
+    def _restore(cls, config, arrays, load_child):
+        base_config = UspConfig(**config["base"])
+        hier_config = HierarchicalConfig(
+            levels=tuple(int(level) for level in config["levels"]), base=base_config
+        )
+        index = cls(hier_config)
+        dim = int(arrays["__base__"].shape[1])
+        by_path = {}
+        # Parents sort before their children ("root" < "root-2" < "root-2-0").
+        for meta in sorted(config["nodes"], key=lambda m: len(m["path"])):
+            path = meta["path"]
+            branches = int(meta["n_branches"])
+            model = None
+            if meta["has_model"]:
+                model = build_partition_model(
+                    dim, base_config.with_updates(n_bins=branches)
+                )
+                prefix = f"tree.{path}."
+                model.load_state_dict(
+                    {
+                        key[len(prefix) :]: value
+                        for key, value in arrays.items()
+                        if key.startswith(prefix)
+                    }
+                )
+                model.eval()
+            node = _TreeNode(
+                model=model,
+                n_branches=branches,
+                children=[None] * branches,
+                n_parameters=int(meta["n_parameters"]),
+            )
+            by_path[path] = node
+            if path == "root":
+                index._root = node
+            else:
+                parent_path, branch = path.rsplit("-", 1)
+                by_path[parent_path].children[int(branch)] = node
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        index.training_time = float(config.get("training_time", 0.0))
+        return index

@@ -8,20 +8,40 @@ inference, multi-probe candidate retrieval, exact re-ranking).
 
 from __future__ import annotations
 
+from dataclasses import asdict
 from typing import Optional
 
 import numpy as np
 
+from ..api.protocol import IndexCapabilities
+from ..api.registry import register_index
 from ..utils.exceptions import NotFittedError
 from ..utils.timing import Stopwatch
 from ..utils.validation import as_float_matrix, as_query_matrix
 from .base import PartitionIndexBase
 from .config import UspConfig
 from .knn_matrix import KnnMatrix, build_knn_matrix
-from .models import PartitionModel
+from .models import PartitionModel, build_partition_model
 from .trainer import TrainingHistory, UspTrainer
 
 
+def _make_usp(config: Optional[UspConfig] = None, **params) -> "UspIndex":
+    """Registry factory: ``make_index("usp", n_bins=16, ...)`` or ``config=``."""
+    return UspIndex(config or UspConfig(**params))
+
+
+@register_index(
+    "usp",
+    factory=_make_usp,
+    capabilities=IndexCapabilities(
+        metrics=("euclidean", "sqeuclidean", "cosine"),
+        probe_parameter="n_probes",
+        supports_candidate_sets=True,
+        trainable=True,
+        reports_parameter_count=True,
+    ),
+    description="Unsupervised Space Partitioning index (the paper's contribution)",
+)
 class UspIndex(PartitionIndexBase):
     """Unsupervised Space Partitioning index (the paper's contribution).
 
@@ -114,3 +134,31 @@ class UspIndex(PartitionIndexBase):
         if self.history is None:
             raise NotFittedError("UspIndex has not been built yet")
         return self.history.seconds
+
+    # ------------------------------------------------------------------ #
+    # persistence
+    # ------------------------------------------------------------------ #
+    def _extra_state(self):
+        config = {"config": asdict(self.config), "build_seconds": self.build_seconds}
+        arrays = {
+            f"model.{key}": value for key, value in self.model.state_dict().items()
+        }
+        return config, arrays
+
+    @classmethod
+    def _restore(cls, config, arrays, load_child):
+        usp_config = UspConfig(**config["config"])
+        index = cls(usp_config)
+        dim = int(arrays["__base__"].shape[1])
+        model = build_partition_model(dim, usp_config)
+        model.load_state_dict(
+            {
+                key[len("model.") :]: value
+                for key, value in arrays.items()
+                if key.startswith("model.")
+            }
+        )
+        model.eval()
+        index.model = model
+        index.build_seconds = float(config.get("build_seconds", 0.0))
+        return index

@@ -11,6 +11,7 @@ from .sweep import (
     SweepPoint,
     accuracy_candidate_curve,
     probe_schedule,
+    resolve_index,
     throughput_accuracy_curve,
 )
 from .reporting import format_curves, format_frontier_summary, format_table
@@ -37,6 +38,7 @@ __all__ = [
     "SweepPoint",
     "accuracy_candidate_curve",
     "probe_schedule",
+    "resolve_index",
     "throughput_accuracy_curve",
     "format_curves",
     "format_frontier_summary",

@@ -15,27 +15,12 @@ from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from ..ann.hnsw import HnswIndex
-from ..ann.ivf import IVFPQIndex
-from ..ann.scann import ScannSearcher, kmeans_scann, usp_scann, vanilla_scann
-from ..baselines.boosted_forest import BoostedSearchForestIndex
-from ..baselines.kmeans import KMeansIndex
-from ..baselines.lsh import CrossPolytopeLshIndex
-from ..baselines.neural_lsh import NeuralLshConfig, NeuralLshIndex, RegressionLshIndex
-from ..baselines.trees import (
-    KdTreeIndex,
-    PcaTreeIndex,
-    RandomProjectionTreeIndex,
-    TwoMeansTreeIndex,
-)
+from ..api.registry import make_index
 from ..clustering.dbscan import DBSCAN
 from ..clustering.metrics import adjusted_rand_index, normalized_mutual_information
 from ..clustering.spectral import SpectralClustering
 from ..clustering.usp_clustering import UspClustering
 from ..core.config import EnsembleConfig, HierarchicalConfig, UspConfig
-from ..core.ensemble import UspEnsembleIndex
-from ..core.hierarchical import HierarchicalUspIndex
-from ..core.index import UspIndex
 from ..core.knn_matrix import build_knn_matrix
 from ..core.models import build_mlp_module
 from ..datasets.ann import AnnDataset, mnist_like, sift_like
@@ -170,9 +155,11 @@ def run_figure5(
     if hierarchical:
         levels = tuple(hierarchical_levels or _square_levels(n_bins))
         hier_config = HierarchicalConfig(levels=levels, base=base_config)
-        usp_single: object = HierarchicalUspIndex(hier_config).build(dataset.base)
+        usp_single: object = make_index("usp-hierarchical", config=hier_config).build(
+            dataset.base
+        )
     else:
-        usp_single = UspIndex(base_config).build(dataset.base, knn=knn)
+        usp_single = make_index("usp", config=base_config).build(dataset.base, knn=knn)
     curves.append(
         accuracy_candidate_curve(
             usp_single, dataset, k=k, probes=probes, method="USP (1 model)"
@@ -180,8 +167,9 @@ def run_figure5(
     )
 
     if ensemble_size > 1 and not hierarchical:
-        ensemble = UspEnsembleIndex(
-            EnsembleConfig(n_models=ensemble_size, base=base_config)
+        ensemble = make_index(
+            "usp-ensemble",
+            config=EnsembleConfig(n_models=ensemble_size, base=base_config),
         ).build(dataset.base, knn=knn)
         curves.append(
             accuracy_candidate_curve(
@@ -193,14 +181,13 @@ def run_figure5(
             )
         )
 
-    neural_lsh = NeuralLshIndex(
-        NeuralLshConfig(
-            n_bins=n_bins,
-            k_prime=base_config.k_prime,
-            hidden_dim=max(256, base_config.hidden_dim * 2),
-            epochs=base_config.epochs,
-            seed=seed,
-        )
+    neural_lsh = make_index(
+        "neural-lsh",
+        n_bins=n_bins,
+        k_prime=base_config.k_prime,
+        hidden_dim=max(256, base_config.hidden_dim * 2),
+        epochs=base_config.epochs,
+        seed=seed,
     ).build(dataset.base, knn=knn)
     curves.append(
         accuracy_candidate_curve(
@@ -208,17 +195,27 @@ def run_figure5(
         )
     )
 
-    kmeans = KMeansIndex(n_bins, seed=seed).build(dataset.base)
     curves.append(
-        accuracy_candidate_curve(kmeans, dataset, k=k, probes=probes, method="K-means")
+        accuracy_candidate_curve(
+            "kmeans",
+            dataset,
+            k=k,
+            probes=probes,
+            method="K-means",
+            index_params=dict(n_bins=n_bins, seed=seed),
+        )
     )
 
     lsh_bins = n_bins if n_bins % 2 == 0 else n_bins + 1
     lsh_bins = min(lsh_bins, 2 * dataset.dim)
-    cross_polytope = CrossPolytopeLshIndex(lsh_bins, seed=seed).build(dataset.base)
     curves.append(
         accuracy_candidate_curve(
-            cross_polytope, dataset, k=k, probes=probes, method="Cross-polytope LSH"
+            "cross-polytope-lsh",
+            dataset,
+            k=k,
+            probes=probes,
+            method="Cross-polytope LSH",
+            index_params=dict(n_bins=lsh_bins, seed=seed),
         )
     )
     return curves
@@ -268,42 +265,27 @@ def run_figure6(
             seed=seed,
         ),
     )
-    usp_tree = HierarchicalUspIndex(usp_tree_config).build(dataset.base)
+    usp_tree = make_index("usp-hierarchical", config=usp_tree_config).build(dataset.base)
     curves.append(
         accuracy_candidate_curve(
             usp_tree, dataset, k=k, probes=probes, method="USP (logistic tree)"
         )
     )
 
-    regression_lsh = RegressionLshIndex(depth=depth, epochs=epochs, seed=seed).build(
-        dataset.base
-    )
-    curves.append(
-        accuracy_candidate_curve(
-            regression_lsh, dataset, k=k, probes=probes, method="Regression LSH"
-        )
-    )
-
     baselines = [
-        ("2-means tree", TwoMeansTreeIndex(depth, seed=seed)),
-        ("PCA tree", PcaTreeIndex(depth, seed=seed)),
-        ("Random projection tree", RandomProjectionTreeIndex(depth, seed=seed)),
-        ("Learned KD-tree", KdTreeIndex(depth, seed=seed)),
+        ("Regression LSH", "regression-lsh", dict(depth=depth, epochs=epochs, seed=seed)),
+        ("2-means tree", "two-means-tree", dict(depth=depth, seed=seed)),
+        ("PCA tree", "pca-tree", dict(depth=depth, seed=seed)),
+        ("Random projection tree", "rp-tree", dict(depth=depth, seed=seed)),
+        ("Learned KD-tree", "kd-tree", dict(depth=depth, seed=seed)),
+        ("Boosted search forest", "boosted-forest", dict(n_trees=3, depth=depth, seed=seed)),
     ]
-    for name, index in baselines:
-        index.build(dataset.base)
+    for method, name, params in baselines:
         curves.append(
-            accuracy_candidate_curve(index, dataset, k=k, probes=probes, method=name)
+            accuracy_candidate_curve(
+                name, dataset, k=k, probes=probes, method=method, index_params=params
+            )
         )
-
-    boosted = BoostedSearchForestIndex(n_trees=3, depth=depth, seed=seed).build(
-        dataset.base
-    )
-    curves.append(
-        accuracy_candidate_curve(
-            boosted, dataset, k=k, probes=probes, method="Boosted search forest"
-        )
-    )
     return curves
 
 
@@ -327,46 +309,66 @@ def run_figure7(
     codec = dict(n_subspaces=16, n_codewords=64, anisotropic_eta=4.0, rerank_factor=30)
     curves: List[SweepCurve] = []
 
-    usp_pipeline = usp_scann(
-        default_usp_config(n_bins, seed=seed).with_updates(epochs=epochs),
-        seed=seed,
-        **codec,
-    ).build(dataset.base)
     curves.append(
         throughput_accuracy_curve(
-            usp_pipeline, dataset, k=k, probes=probes, method="USP + ScaNN"
+            "usp-scann",
+            dataset,
+            k=k,
+            probes=probes,
+            method="USP + ScaNN",
+            index_params=dict(
+                config=default_usp_config(n_bins, seed=seed).with_updates(epochs=epochs),
+                seed=seed,
+                **codec,
+            ),
         )
     )
 
-    kmeans_pipeline = kmeans_scann(n_bins, seed=seed, **codec).build(dataset.base)
     curves.append(
         throughput_accuracy_curve(
-            kmeans_pipeline, dataset, k=k, probes=probes, method="K-means + ScaNN"
+            "kmeans-scann",
+            dataset,
+            k=k,
+            probes=probes,
+            method="K-means + ScaNN",
+            index_params=dict(n_bins=n_bins, seed=seed, **codec),
         )
     )
 
-    vanilla = vanilla_scann(seed=seed, **codec).build(dataset.base)
     curves.append(
         throughput_accuracy_curve(
-            vanilla, dataset, k=k, probes=[1], method="ScaNN (no partition)"
+            "scann",
+            dataset,
+            k=k,
+            probes=[1],
+            method="ScaNN (no partition)",
+            index_params=dict(seed=seed, **codec),
         )
     )
 
-    faiss_like = IVFPQIndex(
-        n_lists=n_bins, n_subspaces=16, n_codewords=64, rerank_factor=30, seed=seed
-    ).build(dataset.base)
     curves.append(
         throughput_accuracy_curve(
-            faiss_like, dataset, k=k, probes=probes, method="FAISS (IVF-PQ)"
+            "ivf-pq",
+            dataset,
+            k=k,
+            probes=probes,
+            method="FAISS (IVF-PQ)",
+            index_params=dict(
+                n_lists=n_bins, n_subspaces=16, n_codewords=64, rerank_factor=30, seed=seed
+            ),
         )
     )
 
     if include_hnsw:
-        hnsw = HnswIndex(12, ef_construction=60, ef_search=40, seed=seed).build(
-            dataset.base
-        )
         curves.append(
-            throughput_accuracy_curve(hnsw, dataset, k=k, efs=efs, method="HNSW")
+            throughput_accuracy_curve(
+                "hnsw",
+                dataset,
+                k=k,
+                efs=efs,
+                method="HNSW",
+                index_params=dict(m=12, ef_construction=60, ef_search=40, seed=seed),
+            )
         )
     return curves
 
@@ -470,8 +472,9 @@ def run_table3(
         if "epochs" in spec:
             config = config.with_updates(epochs=int(spec["epochs"]))
         knn = build_knn_matrix(data.base, config.k_prime)
-        ensemble = UspEnsembleIndex(
-            EnsembleConfig(n_models=ensemble_size, base=config)
+        ensemble = make_index(
+            "usp-ensemble",
+            config=EnsembleConfig(n_models=ensemble_size, base=config),
         ).build(data.base, knn=knn)
         rows.append(
             {
