@@ -20,6 +20,7 @@ from repro.api import available_indexes, load_index, make_index
 from repro.core import UspConfig, UspIndex
 from repro.datasets import sift_like
 from repro.eval import average_candidate_size, knn_accuracy
+from repro.service import QueryRequest, SearchService
 
 
 def main() -> None:
@@ -84,6 +85,40 @@ def main() -> None:
         again, _ = reloaded.batch_query(data.queries, k=10, n_probes=2)
         assert np.array_equal(retrieved, again)
         print(f"saved to {path.name}, reloaded, identical results: True")
+
+    # ------------------------------------------------------------------ #
+    # Serving queries
+    # ------------------------------------------------------------------ #
+    # Applications do not call batch_query by hand: they wrap the index in
+    # a SearchService, which owns micro-batching, an optional LRU result
+    # cache, a thread-pooled path for large batches, and per-service
+    # latency/throughput/recall counters.  Requests are QueryRequest
+    # objects; `probes` is translated to the right knob for any back-end
+    # (n_probes, ef, or nothing for exact search).
+    service = SearchService(index, cache_size=1024)
+    request = QueryRequest(k=10, probes=2)
+    result = service.search_batch(data.queries, request, ground_truth=data.ground_truth)
+    print(f"\nserved {result.n_queries} queries at {result.queries_per_second:,.0f} q/s "
+          f"(mode={result.mode}, recall={result.recall:.3f})")
+
+    # A repeated batch is answered from the cache; a single query works too.
+    cached = service.search_batch(data.queries, request)
+    one = service.search(data.queries[0], request)
+    print(f"repeat batch cache hits: {cached.cache_hits}/{cached.n_queries}; "
+          f"single query -> {one.ids[:3].tolist()}...")
+
+    # Instead of a probe count, a request may carry a candidate budget and
+    # let the service plan the probes that fit it.
+    budgeted = service.search_batch(data.queries, QueryRequest(k=10, candidate_budget=1000))
+    print(f"budget of 1000 candidates -> planned n_probes={service.plan_probes(1000)}, "
+          f"recall {knn_accuracy(budgeted.ids, data.ground_truth, 10):.3f}")
+
+    stats = service.stats()
+    print(f"service stats: {stats['queries']} queries, "
+          f"{stats['queries_per_second']:,.0f} q/s lifetime, "
+          f"p95 latency {stats['p95_latency_ms']:.3f} ms/query")
+    # Multi-index deployments (several datasets, several index configs)
+    # live behind repro.service.Router — see examples/serving_router.py.
 
 
 if __name__ == "__main__":

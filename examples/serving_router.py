@@ -1,0 +1,93 @@
+"""Multi-index serving: route queries across named indexes, save/restore
+the whole deployment.
+
+Run with:  python examples/serving_router.py
+
+A production deployment rarely serves one index: different datasets,
+different accuracy/latency tiers, and an exact fallback live side by
+side.  This example builds three indexes over two datasets, hosts them
+behind one ``Router``, dispatches by name and by capability, then writes
+the entire deployment to disk and restores it — the restored router
+serves bitwise-identical results.
+"""
+
+from __future__ import annotations
+
+import tempfile
+from pathlib import Path
+
+import numpy as np
+
+from repro.api import make_index
+from repro.datasets import glove_like, sift_like
+from repro.service import QueryRequest, Router
+
+
+def main() -> None:
+    # Two datasets: descriptor-style vectors (euclidean) and unit-norm
+    # embeddings (angular workloads).
+    sift = sift_like(n_points=4000, n_queries=200, dim=64, n_clusters=12, seed=7)
+    glove = glove_like(n_points=3000, n_queries=150, dim=50, n_clusters=20, seed=13)
+
+    # 1. Build the deployment: a fast partition index and an exact tier
+    #    for SIFT, plus a partition index for the embedding dataset.
+    router = Router()
+    router.add_index(
+        "sift-fast",
+        make_index("kmeans", n_bins=32, seed=0).build(sift.base),
+        default_request=QueryRequest(k=10, probes=4),
+        cache_size=2048,
+    )
+    router.add_index(
+        "sift-exact",
+        make_index("bruteforce").build(sift.base),
+        default_request=QueryRequest(k=10),
+    )
+    router.add_index(
+        "glove",
+        make_index("kmeans", n_bins=24, seed=0).build(glove.base),
+        default_request=QueryRequest(k=10, probes=3),
+    )
+    print(f"deployment: {router!r}")
+
+    # 2. Dispatch by name: each dataset's traffic goes to its service.
+    fast = router.search_batch(sift.queries, name="sift-fast", ground_truth=sift.ground_truth)
+    emb = router.search_batch(glove.queries, name="glove", ground_truth=glove.ground_truth)
+    print(f"sift-fast: {fast.queries_per_second:,.0f} q/s, recall {fast.recall:.3f}")
+    print(f"glove:     {emb.queries_per_second:,.0f} q/s, recall {emb.recall:.3f}")
+
+    # 3. Dispatch by capability: ask for an exact answer and the router
+    #    picks the service whose index capabilities match.
+    exact_service = router.route(exact=True)
+    exact = exact_service.search_batch(sift.queries[:20], k=10)
+    print(f"exact tier -> {exact_service.name}: {exact.n_queries} queries answered")
+
+    # 4. Save the whole deployment, restore it, and verify the restored
+    #    router serves identical results (PR 1 persistence per index plus
+    #    a router manifest for the service configuration).
+    with tempfile.TemporaryDirectory() as tmp:
+        deployment = Path(tmp) / "deployment"
+        router.save(deployment)
+        manifest = sorted(p.name for p in deployment.iterdir())
+        print(f"\nsaved deployment layout: {manifest}")
+
+        restored = Router.load(deployment)
+        for name, queries in (("sift-fast", sift.queries), ("glove", glove.queries)):
+            before = router.search_batch(queries, name=name)
+            after = restored.search_batch(queries, name=name)
+            identical = np.array_equal(before.ids, after.ids)
+            print(f"{name}: identical results after restore: {identical}")
+            assert identical
+
+    # 5. Deployment-wide observability: one stats() call per service.
+    for name, stats in sorted(router.stats()["services"].items()):
+        recall = stats.get("mean_recall")
+        print(
+            f"stats[{name}]: {stats['queries']} queries, "
+            f"{stats['queries_per_second']:,.0f} q/s"
+            + (f", recall {recall:.3f}" if recall is not None else "")
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -16,6 +16,12 @@ HNSW, ScaNN) — into one system behind a single public API:
 * Persistence — every registered index round-trips through
   ``index.save(path)`` / :func:`repro.api.load_index` (JSON config +
   ``.npz`` arrays), answering queries bitwise-identically after reload.
+* Serving — :class:`repro.service.SearchService` wraps any built or
+  reloaded index with typed :class:`repro.service.QueryRequest` requests,
+  micro-batching, thread-pooled execution, an optional LRU result cache,
+  and latency/throughput/recall counters; :class:`repro.service.Router`
+  hosts several named services with capability-based dispatch and
+  whole-deployment save/restore.
 
 The underlying subpackages remain importable directly (and are loaded
 lazily, so ``import repro`` stays cheap):
@@ -50,6 +56,7 @@ _LAZY_SUBMODULES = {
     "ann",
     "clustering",
     "eval",
+    "service",
 }
 
 _LAZY_ATTRS = {
@@ -68,6 +75,11 @@ _LAZY_ATTRS = {
     "UspConfig": ("repro.core", "UspConfig"),
     "load_dataset": ("repro.datasets", "load_dataset"),
     "knn_accuracy": ("repro.eval", "knn_accuracy"),
+    "SearchService": ("repro.service", "SearchService"),
+    "QueryRequest": ("repro.service", "QueryRequest"),
+    "QueryResult": ("repro.service", "QueryResult"),
+    "BatchResult": ("repro.service", "BatchResult"),
+    "Router": ("repro.service", "Router"),
 }
 
 __all__ = sorted(_LAZY_SUBMODULES | set(_LAZY_ATTRS) | {"__version__"})
@@ -88,4 +100,4 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from . import ann, api, baselines, clustering, core, datasets, eval, nn, utils
+    from . import ann, api, baselines, clustering, core, datasets, eval, nn, service, utils

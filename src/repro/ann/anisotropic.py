@@ -25,7 +25,7 @@ from typing import Optional
 import numpy as np
 
 from ..utils.exceptions import NotFittedError, ValidationError
-from ..utils.rng import SeedLike, resolve_rng, spawn_rngs
+from ..utils.rng import SeedLike
 from ..utils.validation import as_float_matrix, check_positive_int
 from .pq import ProductQuantizer
 

@@ -15,7 +15,7 @@ import numpy as np
 
 from ..baselines.kmeans import KMeans
 from ..utils.exceptions import NotFittedError, ValidationError
-from ..utils.rng import SeedLike, resolve_rng, spawn_rngs
+from ..utils.rng import SeedLike, spawn_rngs
 from ..utils.validation import as_float_matrix, check_positive_int
 
 

@@ -26,7 +26,7 @@ from ..core.config import EnsembleConfig, UspConfig
 from ..core.ensemble import UspEnsembleIndex
 from ..core.index import UspIndex
 from ..utils.distances import squared_euclidean
-from ..utils.exceptions import NotFittedError, ValidationError
+from ..utils.exceptions import NotFittedError
 from ..utils.rng import SeedLike
 from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
 from .anisotropic import AnisotropicQuantizer

@@ -57,6 +57,18 @@ class IndexCapabilities:
     def supports_metric(self, metric: str) -> bool:
         return metric in self.metrics
 
+    def query_kwargs(self, probes: Optional[int]) -> Dict[str, int]:
+        """Translate a generic probe count into this index's query keyword.
+
+        ``probes=4`` becomes ``{"n_probes": 4}`` for partition/IVF methods,
+        ``{"ef": 4}`` for HNSW, and ``{}`` when the index has no knob
+        (exact brute force) — which lets harnesses and the serving layer
+        drive every back-end through one request shape.
+        """
+        if probes is None or self.probe_parameter is None:
+            return {}
+        return {self.probe_parameter: int(probes)}
+
     def as_dict(self) -> Dict[str, Any]:
         return asdict(self)
 

@@ -28,7 +28,7 @@ from ..api.registry import register_index
 from ..core.base import rerank_candidates
 from ..core.knn_matrix import KnnMatrix, build_knn_matrix
 from ..utils.exceptions import NotFittedError
-from ..utils.rng import SeedLike, resolve_rng, spawn_rngs
+from ..utils.rng import SeedLike, spawn_rngs
 from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
 from .trees import HyperplaneTreeIndex, pack_tree_nodes, unpack_tree_nodes
 

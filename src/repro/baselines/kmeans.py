@@ -9,7 +9,7 @@ index whose bins are the Voronoi cells of the centroids.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 

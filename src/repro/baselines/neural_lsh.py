@@ -19,7 +19,7 @@ regression classifier.
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 import numpy as np
 
@@ -27,10 +27,10 @@ from ..api.protocol import IndexCapabilities
 from ..api.registry import register_index
 from ..core.base import PartitionIndexBase
 from ..core.knn_matrix import KnnMatrix, build_knn_matrix
-from ..nn import Adam, EpochBatchIterator, Tensor, cross_entropy
+from ..nn import Adam, EpochBatchIterator, cross_entropy
 from ..core.models import PartitionModel, build_logistic_module, build_mlp_module
 from ..utils.exceptions import ValidationError
-from ..utils.rng import SeedLike, resolve_rng, spawn_rngs
+from ..utils.rng import resolve_rng, spawn_rngs
 from ..utils.timing import Stopwatch
 from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
 

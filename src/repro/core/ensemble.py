@@ -12,7 +12,7 @@ bin probability); the candidate set of the most confident model is searched
 from __future__ import annotations
 
 from dataclasses import asdict
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 

@@ -14,13 +14,12 @@ consumers such as the lookup table and the query path.
 
 from __future__ import annotations
 
-from typing import Optional
 
 import numpy as np
 
 from ..nn import Dropout, Linear, Module, ReLU, Sequential, Tensor
 from ..nn.layers import BatchNorm1d
-from ..utils.exceptions import ConfigurationError, NotFittedError
+from ..utils.exceptions import ConfigurationError
 from ..utils.rng import SeedLike, resolve_rng
 from .config import UspConfig
 

@@ -12,6 +12,7 @@ from .sweep import (
     accuracy_candidate_curve,
     probe_schedule,
     resolve_index,
+    resolve_service,
     throughput_accuracy_curve,
 )
 from .reporting import format_curves, format_frontier_summary, format_table
@@ -39,6 +40,7 @@ __all__ = [
     "accuracy_candidate_curve",
     "probe_schedule",
     "resolve_index",
+    "resolve_service",
     "throughput_accuracy_curve",
     "format_curves",
     "format_frontier_summary",

@@ -6,12 +6,20 @@ from Python or from the examples.  All experiments run at a reduced,
 CPU-friendly scale controlled by :class:`ExperimentScale`; the DESIGN.md
 substitution table explains why the reduced scale preserves the paper's
 qualitative claims.
+
+Query execution inside every sweep goes through
+:class:`repro.service.SearchService` (see :mod:`repro.eval.sweep`), so the
+Figure 7 throughput numbers and the Table 4 operating points are measured
+on the same instrumented serving path a deployment would use.  Benchmark
+datasets are memoized per ``(name, scale)`` — together with
+:meth:`repro.datasets.AnnDataset.ground_truth_for` this means repeated
+runners stop regenerating data and recomputing exact k-NN from scratch.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -25,7 +33,6 @@ from ..core.knn_matrix import build_knn_matrix
 from ..core.models import build_mlp_module
 from ..datasets.ann import AnnDataset, mnist_like, sift_like
 from ..datasets.synthetic import make_circles, make_classification, make_moons
-from .metrics import knn_accuracy
 from .sweep import SweepCurve, accuracy_candidate_curve, probe_schedule, throughput_accuracy_curve
 
 
@@ -80,25 +87,49 @@ class ExperimentScale:
         )
 
 
-def benchmark_dataset(name: str, scale: Optional[ExperimentScale] = None) -> AnnDataset:
-    """Materialise the SIFT-like or MNIST-like benchmark at the given scale."""
+#: memoized benchmark datasets per (canonical name, scale); cached instances
+#: also accumulate their own per-(k, metric) ground-truth cache across runs
+_DATASET_CACHE: Dict[Tuple[str, ExperimentScale], AnnDataset] = {}
+
+
+def benchmark_dataset(
+    name: str, scale: Optional[ExperimentScale] = None, *, cached: bool = True
+) -> AnnDataset:
+    """Materialise the SIFT-like or MNIST-like benchmark at the given scale.
+
+    Datasets are memoized per ``(name, scale)`` so the table/figure runners
+    (and repeated benchmark invocations in one process) share one instance
+    — and with it the dataset's memoized exact ground truth.  Pass
+    ``cached=False`` for a fresh, independent copy.
+    """
     scale = scale or ExperimentScale.small()
     if name in ("sift", "sift-like"):
-        return sift_like(
+        canonical = "sift-like"
+    elif name in ("mnist", "mnist-like"):
+        canonical = "mnist-like"
+    else:
+        raise ValueError(f"unknown benchmark dataset {name!r}")
+    key = (canonical, scale)
+    if cached and key in _DATASET_CACHE:
+        return _DATASET_CACHE[key]
+    if canonical == "sift-like":
+        dataset = sift_like(
             n_points=scale.sift_points,
             n_queries=scale.sift_queries,
             dim=scale.sift_dim,
             n_clusters=scale.sift_clusters,
             seed=scale.seed,
         )
-    if name in ("mnist", "mnist-like"):
-        return mnist_like(
+    else:
+        dataset = mnist_like(
             n_points=scale.mnist_points,
             n_queries=scale.mnist_queries,
             dim=scale.mnist_dim,
             seed=scale.seed,
         )
-    raise ValueError(f"unknown benchmark dataset {name!r}")
+    if cached:
+        _DATASET_CACHE[key] = dataset
+    return dataset
 
 
 # ---------------------------------------------------------------------- #

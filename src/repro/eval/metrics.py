@@ -8,7 +8,7 @@ set before re-ranking (used to analyse partition quality in isolation).
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Sequence
 
 import numpy as np
 

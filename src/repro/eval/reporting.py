@@ -8,7 +8,7 @@ pasted into EXPERIMENTS.md.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from .sweep import SweepCurve
 

@@ -8,7 +8,7 @@ named buffers (non-trainable state such as BatchNorm running statistics).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 import numpy as np
 

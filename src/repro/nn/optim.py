@@ -6,7 +6,7 @@ weight decay) is included for ablation experiments and tests.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 import numpy as np
 

@@ -1,0 +1,73 @@
+"""A small thread-safe LRU cache for query results.
+
+Keys combine the raw query bytes with the request's :meth:`cache_key`, so
+two requests hit the same entry only when they would provably produce the
+same answer (same vector, same ``k``, same probe setting, same extra
+knobs).  Values are ``(ids, distances)`` pairs stored as the arrays the
+index returned; hits hand back copies so callers cannot corrupt the cache.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from typing import Optional, Tuple
+
+import numpy as np
+
+from ..utils.exceptions import ValidationError
+
+CacheValue = Tuple[np.ndarray, np.ndarray]
+
+
+class QueryCache:
+    """Bounded LRU mapping of (query bytes, request key) -> (ids, distances)."""
+
+    def __init__(self, max_entries: int) -> None:
+        if max_entries < 1:
+            raise ValidationError("QueryCache needs max_entries >= 1")
+        self.max_entries = int(max_entries)
+        self._entries: "OrderedDict[tuple, CacheValue]" = OrderedDict()
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def key_for(query: np.ndarray, request_key: tuple) -> tuple:
+        query = np.ascontiguousarray(query, dtype=np.float64)
+        return (query.tobytes(), request_key)
+
+    def get(self, key: tuple) -> Optional[CacheValue]:
+        with self._lock:
+            value = self._entries.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            ids, distances = value
+        return ids.copy(), distances.copy()
+
+    def put(self, key: tuple, ids: np.ndarray, distances: np.ndarray) -> None:
+        with self._lock:
+            self._entries[key] = (np.array(ids, copy=True), np.array(distances, copy=True))
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.max_entries:
+                self._entries.popitem(last=False)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "entries": len(self._entries),
+                "max_entries": self.max_entries,
+                "hits": self.hits,
+                "misses": self.misses,
+            }

@@ -1,0 +1,167 @@
+"""Request/response objects for the query-serving layer.
+
+A :class:`QueryRequest` replaces the positional ``(k, n_probes)`` knobs
+that callers used to thread through ``batch_query`` by hand.  The request
+is back-end agnostic: ``probes`` is translated into the index's own probe
+keyword (``n_probes`` for partition/IVF methods, ``ef`` for HNSW, nothing
+for exact brute force) through the :class:`repro.api.IndexCapabilities`
+descriptor attached to every registered class.
+
+Results come back as :class:`QueryResult` (one query) or
+:class:`BatchResult` (a query matrix), both carrying the ids/distances
+*and* the serving metadata — elapsed time, execution mode, cache hits —
+so throughput numbers reported by benchmarks are produced by the same
+instrumented path applications would serve from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+import numpy as np
+
+from ..utils.exceptions import ValidationError
+
+
+def _freeze(value: Any) -> Any:
+    """Hashable identity of an ``extra`` value, exact for array contents.
+
+    ``repr`` would truncate large numpy arrays (two arrays differing only in
+    the elided middle share a repr), so arrays are keyed by dtype + shape +
+    raw bytes instead.
+    """
+    if isinstance(value, np.ndarray):
+        contiguous = np.ascontiguousarray(value)
+        return ("ndarray", contiguous.dtype.str, contiguous.shape, contiguous.tobytes())
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    return repr(value)
+
+
+@dataclass(frozen=True)
+class QueryRequest:
+    """One nearest-neighbour request.
+
+    Parameters
+    ----------
+    k:
+        Number of neighbours to return.
+    probes:
+        Accuracy/cost knob, translated to the index's own probe keyword
+        (``n_probes``, ``ef``, ...).  ``None`` uses the index default.
+    candidate_budget:
+        Upper bound on the average candidate-set size the caller is
+        willing to scan.  When ``probes`` is not given, the service plans
+        a probe count that fits the budget (partition indexes only).
+    metadata:
+        Free-form per-request annotations, echoed back on the result.
+    extra:
+        Additional keyword arguments forwarded verbatim to
+        ``batch_query`` (escape hatch for back-end specific knobs).
+    """
+
+    k: int = 10
+    probes: Optional[int] = None
+    candidate_budget: Optional[int] = None
+    metadata: Mapping[str, Any] = field(default_factory=dict)
+    extra: Mapping[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if int(self.k) < 1:
+            raise ValidationError("QueryRequest.k must be positive")
+        if self.probes is not None and int(self.probes) < 1:
+            raise ValidationError("QueryRequest.probes must be positive")
+        if self.candidate_budget is not None and int(self.candidate_budget) < 1:
+            raise ValidationError("QueryRequest.candidate_budget must be positive")
+
+    def with_updates(self, **changes) -> "QueryRequest":
+        """A copy of this request with some fields replaced."""
+        return replace(self, **changes)
+
+    def cache_key(self) -> tuple:
+        """Hashable identity of the *answer* this request produces."""
+        return (
+            int(self.k),
+            None if self.probes is None else int(self.probes),
+            None if self.candidate_budget is None else int(self.candidate_budget),
+            tuple(
+                sorted((str(key), _freeze(value)) for key, value in self.extra.items())
+            ),
+        )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-able form (used by router deployment save/restore)."""
+        return {
+            "k": int(self.k),
+            "probes": None if self.probes is None else int(self.probes),
+            "candidate_budget": (
+                None if self.candidate_budget is None else int(self.candidate_budget)
+            ),
+            "metadata": dict(self.metadata),
+            "extra": dict(self.extra),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QueryRequest":
+        return cls(
+            k=int(data.get("k", 10)),
+            probes=data.get("probes"),
+            candidate_budget=data.get("candidate_budget"),
+            metadata=dict(data.get("metadata", {})),
+            extra=dict(data.get("extra", {})),
+        )
+
+
+@dataclass
+class QueryResult:
+    """Answer to a single :class:`QueryRequest`."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    request: QueryRequest
+    latency_seconds: float = 0.0
+    cached: bool = False
+
+    @property
+    def k(self) -> int:
+        return int(self.ids.shape[-1])
+
+    @property
+    def metadata(self) -> Mapping[str, Any]:
+        return self.request.metadata
+
+
+@dataclass
+class BatchResult:
+    """Answer to a batched request: stacked ids/distances plus serving stats."""
+
+    ids: np.ndarray
+    distances: np.ndarray
+    request: QueryRequest
+    elapsed_seconds: float
+    mode: str = "serial"
+    cache_hits: int = 0
+    recall: Optional[float] = None
+
+    @property
+    def n_queries(self) -> int:
+        return int(self.ids.shape[0])
+
+    @property
+    def queries_per_second(self) -> float:
+        return self.n_queries / max(self.elapsed_seconds, 1e-9)
+
+    def __len__(self) -> int:
+        return self.n_queries
+
+    def __iter__(self) -> Iterator[QueryResult]:
+        """Per-query views (latency is the batch average)."""
+        per_query = self.elapsed_seconds / max(self.n_queries, 1)
+        for row in range(self.n_queries):
+            yield QueryResult(
+                ids=self.ids[row],
+                distances=self.distances[row],
+                request=self.request,
+                latency_seconds=per_query,
+            )

@@ -1,0 +1,381 @@
+"""The :class:`SearchService`: an instrumented query-serving front-end.
+
+``SearchService`` wraps any built (or :func:`repro.api.load_index`-loaded)
+:class:`repro.api.AnnIndex` and turns its raw ``batch_query`` surface into
+a serving path:
+
+* requests are :class:`QueryRequest` objects; the service translates the
+  back-end agnostic ``probes`` knob through the index's
+  :class:`~repro.api.IndexCapabilities` and can plan a probe count from a
+  ``candidate_budget``;
+* large batches are split into micro-batches, optionally executed on a
+  thread pool (NumPy releases the GIL inside the distance kernels, so the
+  blocked scans genuinely overlap); results are reassembled in query
+  order, bitwise-identical to the serial path;
+* an optional LRU cache short-circuits repeated queries;
+* every call updates latency/throughput/recall counters exposed via
+  :meth:`stats`, so benchmark numbers and production numbers come from
+  the same instrumented path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..api.persistence import load_index
+from ..api.protocol import IndexCapabilities
+from ..utils.exceptions import ValidationError
+from ..utils.validation import as_query_matrix
+from .cache import QueryCache
+from .metrics import ServiceMetrics, batch_recall
+from .request import BatchResult, QueryRequest, QueryResult
+
+#: execution modes accepted by :meth:`SearchService.search_batch`
+EXECUTION_MODES = ("auto", "serial", "threaded")
+
+
+def _default_workers() -> int:
+    return max(1, min(8, (os.cpu_count() or 2) - 1))
+
+
+class SearchService:
+    """Serve nearest-neighbour queries from one built index.
+
+    Parameters
+    ----------
+    index:
+        A built index following the :class:`repro.api.AnnIndex` protocol.
+    name:
+        Service name used in :meth:`stats` and by :class:`Router`.
+    default_request:
+        Baseline :class:`QueryRequest`; per-call requests/overrides are
+        merged on top of it.
+    batch_size:
+        Micro-batch size: queries are fed to ``batch_query`` in chunks of
+        this many rows (bounds peak memory of the distance blocks).
+    max_workers:
+        Thread-pool width for the threaded path (default: CPU count - 1,
+        capped at 8).
+    parallel_threshold:
+        Minimum batch size before ``mode="auto"`` picks the thread pool.
+    cache_size:
+        LRU query-result cache capacity; ``0`` disables caching.
+    """
+
+    def __init__(
+        self,
+        index,
+        *,
+        name: Optional[str] = None,
+        default_request: Optional[QueryRequest] = None,
+        batch_size: int = 256,
+        max_workers: Optional[int] = None,
+        parallel_threshold: int = 512,
+        cache_size: int = 0,
+    ) -> None:
+        if not getattr(index, "is_built", False):
+            raise ValidationError(
+                f"SearchService needs a built index; build() or load_index() "
+                f"this {type(index).__name__} first"
+            )
+        if batch_size < 1:
+            raise ValidationError("batch_size must be positive")
+        self.index = index
+        self.name = name or getattr(type(index), "_registry_name", None) or type(index).__name__
+        self.default_request = default_request or QueryRequest()
+        self.batch_size = int(batch_size)
+        self.max_workers = int(max_workers) if max_workers else _default_workers()
+        self.parallel_threshold = int(parallel_threshold)
+        self.cache = QueryCache(cache_size) if cache_size else None
+        self.metrics = ServiceMetrics()
+        self._pool: Optional[ThreadPoolExecutor] = None
+
+    # ------------------------------------------------------------------ #
+    # construction helpers
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_saved(cls, path, **kwargs) -> "SearchService":
+        """Serve a previously saved index directory (PR 1 persistence)."""
+        return cls(load_index(path), **kwargs)
+
+    @property
+    def capabilities(self) -> Optional[IndexCapabilities]:
+        capabilities = getattr(type(self.index), "capabilities", None)
+        return capabilities if isinstance(capabilities, IndexCapabilities) else None
+
+    @property
+    def dim(self) -> Optional[int]:
+        try:
+            return int(self.index.dim)
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------ #
+    # request plumbing
+    # ------------------------------------------------------------------ #
+    def resolve_request(
+        self, request: Optional[QueryRequest] = None, **overrides
+    ) -> QueryRequest:
+        """Merge ``request`` (or field overrides) onto the service default."""
+        merged = request if request is not None else self.default_request
+        if overrides:
+            merged = merged.with_updates(**overrides)
+        return merged
+
+    def plan_probes(self, candidate_budget: int) -> Optional[int]:
+        """Probe count whose expected candidate-set size fits the budget.
+
+        Uses the partition shape (``n_points / n_bins`` expected points per
+        probed bin); returns ``None`` for indexes without a probe knob or
+        without a known bin count.
+        """
+        capabilities = self.capabilities
+        if capabilities is None or capabilities.probe_parameter is None:
+            return None
+        n_bins = getattr(self.index, "n_bins", None) or getattr(self.index, "n_lists", None)
+        n_points = getattr(self.index, "n_points", None)
+        if not n_bins or not n_points:
+            return None
+        per_probe = max(float(n_points) / float(n_bins), 1.0)
+        return int(np.clip(int(candidate_budget // per_probe), 1, int(n_bins)))
+
+    def query_kwargs(self, request: QueryRequest) -> Dict[str, Any]:
+        """``batch_query`` keyword arguments implementing ``request``."""
+        kwargs: Dict[str, Any] = dict(request.extra)
+        capabilities = self.capabilities
+        probes = request.probes
+        if probes is None and request.candidate_budget is not None:
+            probes = self.plan_probes(request.candidate_budget)
+        if probes is not None and capabilities is not None:
+            kwargs.update(capabilities.query_kwargs(probes))
+        return kwargs
+
+    def _as_queries(self, queries: np.ndarray) -> np.ndarray:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        dim = self.dim
+        if queries.shape[0] == 0:
+            return queries.reshape(0, dim if dim is not None else queries.shape[-1])
+        if dim is not None:
+            queries = as_query_matrix(queries, dim)
+        return queries
+
+    # ------------------------------------------------------------------ #
+    # execution
+    # ------------------------------------------------------------------ #
+    def _run_chunks(
+        self, queries: np.ndarray, k: int, kwargs: Dict[str, Any], threaded: bool
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        starts = range(0, queries.shape[0], self.batch_size)
+        chunks = [queries[start : start + self.batch_size] for start in starts]
+
+        def run(chunk: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+            return self.index.batch_query(chunk, k, **kwargs)
+
+        if threaded and len(chunks) > 1:
+            results = list(self._executor().map(run, chunks))
+        else:
+            results = [run(chunk) for chunk in chunks]
+        ids = np.vstack([r[0] for r in results])
+        distances = np.vstack([r[1] for r in results])
+        return ids, distances
+
+    def _executor(self) -> ThreadPoolExecutor:
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.max_workers, thread_name_prefix=f"svc-{self.name}"
+            )
+        return self._pool
+
+    def close(self) -> None:
+        """Shut down the thread pool (idempotent; the service stays usable)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "SearchService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _pick_mode(self, mode: str, n_queries: int) -> str:
+        if mode not in EXECUTION_MODES:
+            raise ValidationError(
+                f"unknown execution mode {mode!r}; expected one of {EXECUTION_MODES}"
+            )
+        if mode != "auto":
+            return mode
+        if n_queries >= self.parallel_threshold and self.max_workers > 1:
+            return "threaded"
+        return "serial"
+
+    # ------------------------------------------------------------------ #
+    # public serving surface
+    # ------------------------------------------------------------------ #
+    def search(
+        self, query: np.ndarray, request: Optional[QueryRequest] = None, **overrides
+    ) -> QueryResult:
+        """Answer one query vector."""
+        request = self.resolve_request(request, **overrides)
+        queries = self._as_queries(query)
+        if queries.shape[0] != 1:
+            raise ValidationError("search() takes a single query; use search_batch()")
+        kwargs = self.query_kwargs(request)
+        cache_key = None
+        if self.cache is not None:
+            start = time.perf_counter()
+            cache_key = QueryCache.key_for(queries[0], request.cache_key())
+            hit = self.cache.get(cache_key)
+            if hit is not None:
+                elapsed = time.perf_counter() - start
+                self.metrics.observe_batch(1, elapsed, "cached", cache_hits=1)
+                return QueryResult(
+                    ids=hit[0],
+                    distances=hit[1],
+                    request=request,
+                    latency_seconds=elapsed,
+                    cached=True,
+                )
+        start = time.perf_counter()
+        ids, distances = self.index.batch_query(queries, request.k, **kwargs)
+        elapsed = time.perf_counter() - start
+        if self.cache is not None and cache_key is not None:
+            self.cache.put(cache_key, ids[0], distances[0])
+        self.metrics.observe_batch(1, elapsed, "serial")
+        return QueryResult(
+            ids=ids[0], distances=distances[0], request=request, latency_seconds=elapsed
+        )
+
+    def search_batch(
+        self,
+        queries: np.ndarray,
+        request: Optional[QueryRequest] = None,
+        *,
+        mode: str = "auto",
+        ground_truth: Optional[np.ndarray] = None,
+        **overrides,
+    ) -> BatchResult:
+        """Answer a query matrix, micro-batched and optionally thread-pooled.
+
+        ``mode`` is ``"auto"`` (thread pool for batches of at least
+        ``parallel_threshold`` rows), ``"serial"``, or ``"threaded"``.  Both
+        execution paths partition the batch into the same micro-batches and
+        reassemble results in query order, so they return bitwise-identical
+        arrays.  With ``ground_truth`` given, the batch's k-NN recall is
+        computed and folded into the service's running counters.
+        """
+        request = self.resolve_request(request, **overrides)
+        queries = self._as_queries(queries)
+        if queries.shape[0] == 0:
+            empty = np.empty((0, request.k), dtype=np.int64)
+            return BatchResult(
+                ids=empty,
+                distances=np.empty((0, request.k)),
+                request=request,
+                elapsed_seconds=0.0,
+                mode="serial",
+            )
+        kwargs = self.query_kwargs(request)
+        run_mode = self._pick_mode(mode, queries.shape[0])
+
+        start = time.perf_counter()
+        if self.cache is None:
+            ids, distances = self._run_chunks(
+                queries, request.k, kwargs, run_mode == "threaded"
+            )
+            cache_hits = 0
+        else:
+            ids, distances, cache_hits = self._search_batch_cached(
+                queries, request, kwargs, run_mode
+            )
+        elapsed = time.perf_counter() - start
+
+        self.metrics.observe_batch(queries.shape[0], elapsed, run_mode, cache_hits)
+        recall = None
+        if ground_truth is not None:
+            ground_truth = np.asarray(ground_truth)
+            k = min(request.k, ids.shape[1], ground_truth.shape[1])
+            recall = batch_recall(ids, ground_truth, k)
+            self.metrics.observe_recall(recall, queries.shape[0])
+        return BatchResult(
+            ids=ids,
+            distances=distances,
+            request=request,
+            elapsed_seconds=elapsed,
+            mode=run_mode,
+            cache_hits=cache_hits,
+            recall=recall,
+        )
+
+    def _search_batch_cached(
+        self,
+        queries: np.ndarray,
+        request: QueryRequest,
+        kwargs: Dict[str, Any],
+        run_mode: str,
+    ) -> Tuple[np.ndarray, np.ndarray, int]:
+        """Batch path with per-query cache lookups around the bulk execution."""
+        request_key = request.cache_key()
+        keys = [QueryCache.key_for(row, request_key) for row in queries]
+        hits: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [
+            self.cache.get(key) for key in keys
+        ]
+        missing = [row for row, hit in enumerate(hits) if hit is None]
+        if missing:
+            fresh_ids, fresh_distances = self._run_chunks(
+                queries[missing], request.k, kwargs, run_mode == "threaded"
+            )
+            for position, row in enumerate(missing):
+                self.cache.put(keys[row], fresh_ids[position], fresh_distances[position])
+        else:
+            fresh_ids = np.empty((0, request.k), dtype=np.int64)
+            fresh_distances = np.empty((0, request.k))
+        width = fresh_ids.shape[1] if missing else hits[0][0].shape[-1]
+        ids = np.empty((queries.shape[0], width), dtype=np.int64)
+        distances = np.empty((queries.shape[0], width))
+        fresh_row = 0
+        for row, hit in enumerate(hits):
+            if hit is None:
+                ids[row], distances[row] = fresh_ids[fresh_row], fresh_distances[fresh_row]
+                fresh_row += 1
+            else:
+                ids[row], distances[row] = hit
+        return ids, distances, len(keys) - len(missing)
+
+    # ------------------------------------------------------------------ #
+    # introspection / configuration
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        """Serving counters plus the wrapped index's own introspection data."""
+        stats: Dict[str, Any] = {"service": self.name, **self.metrics.snapshot()}
+        if self.cache is not None:
+            stats["cache"] = self.cache.stats()
+        try:
+            stats["index"] = self.index.stats()
+        except Exception:
+            stats["index"] = {"class": type(self.index).__name__}
+        return stats
+
+    def reset_stats(self) -> None:
+        self.metrics.reset()
+
+    def service_config(self) -> Dict[str, Any]:
+        """JSON-able construction parameters (used by router save/restore)."""
+        return {
+            "batch_size": self.batch_size,
+            "max_workers": self.max_workers,
+            "parallel_threshold": self.parallel_threshold,
+            "cache_size": self.cache.max_entries if self.cache is not None else 0,
+            "default_request": self.default_request.as_dict(),
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"SearchService(name={self.name!r}, index={type(self.index).__name__}, "
+            f"batch_size={self.batch_size}, workers={self.max_workers})"
+        )

@@ -8,7 +8,7 @@ end to end while still allowing callers to pass an existing
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -17,7 +17,6 @@ from repro.ann import (
     vanilla_scann,
 )
 from repro.baselines import KMeansIndex
-from repro.core import UspConfig
 from repro.eval import knn_accuracy
 from repro.utils.exceptions import NotFittedError, ValidationError
 

@@ -10,7 +10,6 @@ from repro.core import (
     UspConfig,
     UspEnsembleIndex,
     boosting_weights,
-    build_knn_matrix,
 )
 from repro.eval import candidate_recall, knn_accuracy
 from repro.utils.exceptions import ConfigurationError, NotFittedError

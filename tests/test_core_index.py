@@ -5,7 +5,6 @@ import pytest
 
 from repro.core import (
     PartitionIndexBase,
-    TrainingHistory,
     UspConfig,
     UspIndex,
     UspTrainer,

@@ -1,0 +1,94 @@
+"""The PR 1 naming convention is enforced: indexes build, codecs fit.
+
+The old spellings survive as thin aliases that must emit exactly one
+``DeprecationWarning`` per call — one, so callers are told; exactly one,
+so composite indexes (ensembles, hierarchies, ScaNN pipelines) do not
+multiply the warning through their internal members.
+"""
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.api import make_index
+from repro.datasets import sift_like
+
+from test_api_registry import TINY_PARAMS
+
+
+@pytest.fixture(scope="module")
+def deprecation_dataset():
+    return sift_like(n_points=300, n_queries=8, dim=16, n_clusters=4, gt_k=10, seed=5)
+
+
+def _deprecations(caught):
+    return [w for w in caught if issubclass(w.category, DeprecationWarning)]
+
+
+@pytest.mark.parametrize("name", sorted(TINY_PARAMS))
+class TestFitAliasWarnsOncePerCall:
+    def test_fit_warns_exactly_once_per_call(self, name, deprecation_dataset):
+        index = make_index(name, **TINY_PARAMS[name])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            index.fit(deprecation_dataset.base)
+        first_call = _deprecations(caught)
+        assert len(first_call) == 1, (
+            f"{name}.fit() emitted {len(first_call)} DeprecationWarnings, expected 1"
+        )
+        assert "use build" in str(first_call[0].message)
+        assert index.is_built
+        # A second call warns again (once): the alias is per-call, not one-shot.
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            index.fit(deprecation_dataset.base)
+        assert len(_deprecations(caught)) == 1
+
+    def test_build_is_silent(self, name, deprecation_dataset):
+        index = make_index(name, **TINY_PARAMS[name])
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            index.build(deprecation_dataset.base)
+        assert not _deprecations(caught)
+
+
+@pytest.mark.parametrize("quantizer_name", ["ProductQuantizer", "AnisotropicQuantizer"])
+class TestQuantizerBuildAliasWarnsOncePerCall:
+    def _make(self, quantizer_name):
+        import repro.ann as ann
+
+        cls = getattr(ann, quantizer_name)
+        return cls(4, 4, seed=0)
+
+    def test_build_warns_exactly_once_per_call(self, quantizer_name, deprecation_dataset):
+        quantizer = self._make(quantizer_name)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            quantizer.build(deprecation_dataset.base)
+        deprecated = _deprecations(caught)
+        assert len(deprecated) == 1
+        assert "use fit" in str(deprecated[0].message)
+
+    def test_fit_is_silent(self, quantizer_name, deprecation_dataset):
+        quantizer = self._make(quantizer_name)
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            quantizer.fit(deprecation_dataset.base)
+        assert not _deprecations(caught)
+
+
+def test_every_registered_index_is_covered():
+    """TINY_PARAMS drives this module; it must track the live registry."""
+    from repro.api import available_indexes
+
+    assert set(TINY_PARAMS) == set(available_indexes())
+
+
+def test_deprecated_calls_still_return_usable_indexes(deprecation_dataset):
+    index = make_index("kmeans", n_bins=4, seed=0)
+    with pytest.warns(DeprecationWarning):
+        index.fit(deprecation_dataset.base)
+    ids, distances = index.batch_query(deprecation_dataset.queries, 3, n_probes=2)
+    assert ids.shape == (deprecation_dataset.n_queries, 3)
+    assert np.all(np.isfinite(distances))

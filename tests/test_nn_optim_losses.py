@@ -5,7 +5,6 @@ import pytest
 
 from repro.nn import (
     Adam,
-    Batch,
     EpochBatchIterator,
     Linear,
     SGD,

@@ -12,7 +12,7 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.baselines import KMeansIndex, PcaTreeIndex
-from repro.core import UspConfig, neighbor_bin_distribution, usp_loss
+from repro.core import neighbor_bin_distribution, usp_loss
 from repro.core.base import rerank_candidates
 from repro.eval import knn_accuracy, probe_schedule
 from repro.nn import Tensor
