@@ -120,6 +120,35 @@ def main() -> None:
     # Multi-index deployments (several datasets, several index configs)
     # live behind repro.service.Router — see examples/serving_router.py.
 
+    # ------------------------------------------------------------------ #
+    # Scaling out
+    # ------------------------------------------------------------------ #
+    # One monolithic build stops scaling at some dataset size.  A
+    # ShardedIndex spreads the same logical index over N child indexes
+    # (any registered backend, mixed backends allowed): a partitioner
+    # assigns base vectors to shards, the offline phase builds shards in
+    # parallel, and queries scatter-gather with an exact global top-k
+    # merge — sharded bruteforce returns exactly what a single
+    # bruteforce index would.
+    sharded = make_index("sharded", n_shards=4, spec="kmeans",
+                         shard_params=dict(n_bins=8, seed=0),
+                         partitioner="kmeans").build(data.base)
+    retrieved, _ = sharded.batch_query(data.queries, k=10, probes=4)
+    print(f"\nsharded kmeans ({sharded.n_shards} shards, built in "
+          f"{sharded.build_seconds:.2f}s): accuracy="
+          f"{knn_accuracy(retrieved, data.ground_truth, 10):.3f}")
+
+    # Sharded indexes are also *mutable*: add() serves new vectors
+    # immediately from an exactly-scanned pending buffer, remove()
+    # tombstones ids, and compact() folds both into rebuilt shards.
+    new_ids = sharded.add(data.queries[:3])
+    sharded.remove(new_ids[:1])
+    sharded.compact()
+    print(f"after add/remove/compact: {sharded.n_points} live vectors, "
+          f"version={sharded.version}")
+    # End-to-end sharded serving (Router, persistence, benchmarks) is in
+    # examples/sharded_serving.py and benchmarks/bench_shard.py.
+
 
 if __name__ == "__main__":
     main()

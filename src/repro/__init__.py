@@ -57,12 +57,15 @@ _LAZY_SUBMODULES = {
     "clustering",
     "eval",
     "service",
+    "shard",
 }
 
 _LAZY_ATTRS = {
     # name -> (module, attribute)
     "AnnIndex": ("repro.api", "AnnIndex"),
+    "MutableIndex": ("repro.api", "MutableIndex"),
     "IndexCapabilities": ("repro.api", "IndexCapabilities"),
+    "ShardedIndex": ("repro.shard", "ShardedIndex"),
     "make_index": ("repro.api", "make_index"),
     "available_indexes": ("repro.api", "available_indexes"),
     "index_info": ("repro.api", "index_info"),
@@ -100,4 +103,4 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from . import ann, api, baselines, clustering, core, datasets, eval, nn, service, utils
+    from . import ann, api, baselines, clustering, core, datasets, eval, nn, service, shard, utils

@@ -23,6 +23,7 @@ from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_
         metrics=("euclidean", "sqeuclidean", "cosine"),
         probe_parameter=None,
         exact=True,
+        shardable=True,
     ),
     description="Exact k-NN by scanning the entire dataset",
 )

@@ -26,6 +26,7 @@ from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_
         metrics=("euclidean",),
         probe_parameter="ef",
         trainable=False,
+        shardable=True,
     ),
     description="Hierarchical navigable small-world graph (Malkov & Yashunin 2018)",
 )

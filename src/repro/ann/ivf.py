@@ -27,6 +27,7 @@ _IVF_CAPABILITIES = IndexCapabilities(
     metrics=("euclidean",),
     probe_parameter="n_probes",
     trainable=True,
+    shardable=True,
 )
 
 

@@ -22,7 +22,13 @@ Example
 >>> again = load_index("/tmp/kmeans-index")
 """
 
-from .protocol import AnnIndex, IndexCapabilities, RegisteredIndex, basic_index_stats
+from .protocol import (
+    AnnIndex,
+    IndexCapabilities,
+    MutableIndex,
+    RegisteredIndex,
+    basic_index_stats,
+)
 from .registry import (
     IndexSpec,
     available_indexes,
@@ -36,6 +42,7 @@ from .persistence import PersistentIndexMixin, load_index, save_index
 __all__ = [
     "AnnIndex",
     "IndexCapabilities",
+    "MutableIndex",
     "RegisteredIndex",
     "basic_index_stats",
     "IndexSpec",

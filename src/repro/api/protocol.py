@@ -21,6 +21,16 @@ import numpy as np
 from .persistence import PersistentIndexMixin
 
 
+#: capability values that already warned about a dropped ``probes`` knob
+#: (the warning fires once per distinct capabilities value, not per query).
+_PROBE_WARNINGS: set = set()
+
+
+def _reset_probe_warning_registry() -> None:
+    """Forget which capabilities already warned (test isolation hook)."""
+    _PROBE_WARNINGS.clear()
+
+
 @dataclass(frozen=True)
 class IndexCapabilities:
     """What a registered index can do and how to drive it.
@@ -45,6 +55,13 @@ class IndexCapabilities:
         stored/learned parameters.
     exact:
         True when query results are exact rather than approximate.
+    shardable:
+        True when the offline phase is self-contained over any subset of
+        the data, so the index can serve as a shard of a
+        :class:`repro.shard.ShardedIndex` without global coordination.
+    mutable:
+        True when the index supports post-build ``add`` / ``remove`` /
+        ``compact`` (the :class:`MutableIndex` capability).
     """
 
     metrics: Tuple[str, ...] = ("euclidean",)
@@ -53,6 +70,8 @@ class IndexCapabilities:
     trainable: bool = False
     reports_parameter_count: bool = False
     exact: bool = False
+    shardable: bool = False
+    mutable: bool = False
 
     def supports_metric(self, metric: str) -> bool:
         return metric in self.metrics
@@ -63,9 +82,22 @@ class IndexCapabilities:
         ``probes=4`` becomes ``{"n_probes": 4}`` for partition/IVF methods,
         ``{"ef": 4}`` for HNSW, and ``{}`` when the index has no knob
         (exact brute force) — which lets harnesses and the serving layer
-        drive every back-end through one request shape.
+        drive every back-end through one request shape.  Requesting probes
+        from an index without a knob warns once (per capabilities value)
+        instead of silently dropping the setting, so callers learn their
+        accuracy/cost dial is a no-op on this back-end.
         """
-        if probes is None or self.probe_parameter is None:
+        if probes is None:
+            return {}
+        if self.probe_parameter is None:
+            if self not in _PROBE_WARNINGS:
+                _PROBE_WARNINGS.add(self)
+                warnings.warn(
+                    "probes requested on an index with no probe parameter "
+                    "(probe_parameter=None); the setting has no effect",
+                    UserWarning,
+                    stacklevel=3,
+                )
             return {}
         return {self.probe_parameter: int(probes)}
 
@@ -92,6 +124,31 @@ class AnnIndex(Protocol):
         ...
 
 
+@runtime_checkable
+class MutableIndex(AnnIndex, Protocol):
+    """An index that also supports post-build mutation.
+
+    Mutable indexes additionally expose a monotonically increasing
+    ``version`` counter bumped on every ``add`` / ``remove`` / ``compact``,
+    which the serving layer folds into its result-cache keys so cached
+    answers never outlive the data they were computed from.
+    """
+
+    version: int
+
+    def add(self, vectors: np.ndarray) -> np.ndarray:  # pragma: no cover
+        """Insert vectors; returns the global ids assigned to them."""
+        ...
+
+    def remove(self, ids) -> int:  # pragma: no cover
+        """Tombstone the given global ids; returns how many were removed."""
+        ...
+
+    def compact(self):  # pragma: no cover
+        """Fold pending adds and tombstones into a rebuilt structure."""
+        ...
+
+
 def basic_index_stats(index) -> Dict[str, Any]:
     """Collect the introspection attributes an index actually exposes.
 
@@ -104,7 +161,7 @@ def basic_index_stats(index) -> Dict[str, Any]:
     if name:
         stats["name"] = name
     stats["is_built"] = bool(getattr(index, "is_built", False))
-    for attr in ("n_points", "dim", "n_bins", "n_models", "n_trees"):
+    for attr in ("n_points", "dim", "n_bins", "n_models", "n_trees", "n_shards", "version"):
         try:
             value = getattr(index, attr)
         except Exception:

@@ -44,6 +44,10 @@ _BUILTIN_MODULES: Dict[str, str] = {
     "scann": "repro.ann.scann",
     "kmeans-scann": "repro.ann.scann",
     "usp-scann": "repro.ann.scann",
+    "sharded": "repro.shard.sharded",
+    "sharded-bruteforce": "repro.shard.sharded",
+    "sharded-kmeans": "repro.shard.sharded",
+    "sharded-ivf": "repro.shard.sharded",
 }
 
 

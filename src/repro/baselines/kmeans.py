@@ -168,6 +168,7 @@ class KMeans:
         supports_candidate_sets=True,
         trainable=True,
         reports_parameter_count=True,
+        shardable=True,
     ),
     description="K-means Voronoi partition (the ubiquitous baseline)",
 )

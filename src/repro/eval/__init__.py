@@ -7,12 +7,14 @@ from .metrics import (
     recall_at_k,
 )
 from .sweep import (
+    ShardScalingPoint,
     SweepCurve,
     SweepPoint,
     accuracy_candidate_curve,
     probe_schedule,
     resolve_index,
     resolve_service,
+    shard_scaling_curve,
     throughput_accuracy_curve,
 )
 from .reporting import format_curves, format_frontier_summary, format_table
@@ -35,12 +37,14 @@ __all__ = [
     "candidate_recall",
     "knn_accuracy",
     "recall_at_k",
+    "ShardScalingPoint",
     "SweepCurve",
     "SweepPoint",
     "accuracy_candidate_curve",
     "probe_schedule",
     "resolve_index",
     "resolve_service",
+    "shard_scaling_curve",
     "throughput_accuracy_curve",
     "format_curves",
     "format_frontier_summary",

@@ -102,13 +102,15 @@ class Router:
         *,
         metric: Optional[str] = None,
         exact: Optional[bool] = None,
+        mutable: Optional[bool] = None,
         dim: Optional[int] = None,
     ) -> SearchService:
         """Pick the service answering a request.
 
         With ``name`` the choice is explicit.  Otherwise the capability
-        filters narrow the candidates (supported metric, exactness, vector
-        dimensionality) and the router round-robins over what remains.
+        filters narrow the candidates (supported metric, exactness,
+        mutability, vector dimensionality) and the router round-robins
+        over what remains.
         """
         if name is not None:
             return self.service(name)
@@ -116,12 +118,14 @@ class Router:
             eligible = [
                 service
                 for _, service in sorted(self._services.items())
-                if self._eligible(service, metric=metric, exact=exact, dim=dim)
+                if self._eligible(
+                    service, metric=metric, exact=exact, mutable=mutable, dim=dim
+                )
             ]
             if not eligible:
                 raise ConfigurationError(
                     f"no registered service matches metric={metric!r} "
-                    f"exact={exact!r} dim={dim!r}"
+                    f"exact={exact!r} mutable={mutable!r} dim={dim!r}"
                 )
             service = eligible[self._round_robin % len(eligible)]
             self._round_robin += 1
@@ -133,6 +137,7 @@ class Router:
         *,
         metric: Optional[str],
         exact: Optional[bool],
+        mutable: Optional[bool],
         dim: Optional[int],
     ) -> bool:
         capabilities = service.capabilities
@@ -141,6 +146,9 @@ class Router:
                 return False
         if exact is not None:
             if capabilities is None or capabilities.exact != exact:
+                return False
+        if mutable is not None:
+            if capabilities is None or capabilities.mutable != mutable:
                 return False
         if dim is not None and service.dim not in (None, dim):
             return False
@@ -179,7 +187,7 @@ class Router:
 
     @staticmethod
     def _split_route_kwargs(kwargs: Dict[str, Any]):
-        route_keys = ("metric", "exact", "dim")
+        route_keys = ("metric", "exact", "mutable", "dim")
         route = {key: kwargs.pop(key) for key in route_keys if key in kwargs}
         return route, kwargs
 

@@ -94,6 +94,7 @@ class SearchService:
         self.cache = QueryCache(cache_size) if cache_size else None
         self.metrics = ServiceMetrics()
         self._pool: Optional[ThreadPoolExecutor] = None
+        self._cache_tag = self._index_cache_tag()
 
     # ------------------------------------------------------------------ #
     # construction helpers
@@ -154,6 +155,37 @@ class SearchService:
         if probes is not None and capabilities is not None:
             kwargs.update(capabilities.query_kwargs(probes))
         return kwargs
+
+    def _index_cache_tag(self) -> tuple:
+        """Index-side identity of a cached answer: distance metric + version.
+
+        The request's own :meth:`QueryRequest.cache_key` covers ``k``,
+        ``probes``, and extra knobs, but the answer also depends on state
+        the request cannot see: the index's distance metric and, for
+        mutable indexes, the mutation ``version`` counter bumped by every
+        ``add`` / ``remove`` / ``compact``.  Folding both into the key
+        (and clearing outdated entries in :meth:`_request_cache`) keeps a
+        cached result from outliving the data it was computed from.
+
+        The two mechanisms deliberately overlap: the clear reclaims the
+        memory of every stale entry, while the tag in the key also covers
+        the race where the index mutates *during* a batch that already
+        passed the freshness check — results computed from the old state
+        land under old-tag keys no later lookup can hit.
+        """
+        metric = getattr(self.index, "metric", None)
+        version = getattr(self.index, "version", 0)
+        return (None if metric is None else str(metric), int(version or 0))
+
+    def _request_cache(self) -> Optional[QueryCache]:
+        """The result cache, invalidated first if the index has mutated."""
+        if self.cache is None:
+            return None
+        tag = self._index_cache_tag()
+        if tag != self._cache_tag:
+            self.cache.clear()
+            self._cache_tag = tag
+        return self.cache
 
     def _as_queries(self, queries: np.ndarray) -> np.ndarray:
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
@@ -226,11 +258,14 @@ class SearchService:
         if queries.shape[0] != 1:
             raise ValidationError("search() takes a single query; use search_batch()")
         kwargs = self.query_kwargs(request)
+        cache = self._request_cache()
         cache_key = None
-        if self.cache is not None:
+        if cache is not None:
             start = time.perf_counter()
-            cache_key = QueryCache.key_for(queries[0], request.cache_key())
-            hit = self.cache.get(cache_key)
+            cache_key = QueryCache.key_for(
+                queries[0], request.cache_key() + self._cache_tag
+            )
+            hit = cache.get(cache_key)
             if hit is not None:
                 elapsed = time.perf_counter() - start
                 self.metrics.observe_batch(1, elapsed, "cached", cache_hits=1)
@@ -244,8 +279,8 @@ class SearchService:
         start = time.perf_counter()
         ids, distances = self.index.batch_query(queries, request.k, **kwargs)
         elapsed = time.perf_counter() - start
-        if self.cache is not None and cache_key is not None:
-            self.cache.put(cache_key, ids[0], distances[0])
+        if cache is not None and cache_key is not None:
+            cache.put(cache_key, ids[0], distances[0])
         self.metrics.observe_batch(1, elapsed, "serial")
         return QueryResult(
             ids=ids[0], distances=distances[0], request=request, latency_seconds=elapsed
@@ -283,15 +318,16 @@ class SearchService:
         kwargs = self.query_kwargs(request)
         run_mode = self._pick_mode(mode, queries.shape[0])
 
+        cache = self._request_cache()
         start = time.perf_counter()
-        if self.cache is None:
+        if cache is None:
             ids, distances = self._run_chunks(
                 queries, request.k, kwargs, run_mode == "threaded"
             )
             cache_hits = 0
         else:
             ids, distances, cache_hits = self._search_batch_cached(
-                queries, request, kwargs, run_mode
+                queries, request, kwargs, run_mode, cache
             )
         elapsed = time.perf_counter() - start
 
@@ -318,12 +354,13 @@ class SearchService:
         request: QueryRequest,
         kwargs: Dict[str, Any],
         run_mode: str,
+        cache: QueryCache,
     ) -> Tuple[np.ndarray, np.ndarray, int]:
         """Batch path with per-query cache lookups around the bulk execution."""
-        request_key = request.cache_key()
+        request_key = request.cache_key() + self._cache_tag
         keys = [QueryCache.key_for(row, request_key) for row in queries]
         hits: List[Optional[Tuple[np.ndarray, np.ndarray]]] = [
-            self.cache.get(key) for key in keys
+            cache.get(key) for key in keys
         ]
         missing = [row for row, hit in enumerate(hits) if hit is None]
         if missing:
@@ -331,7 +368,7 @@ class SearchService:
                 queries[missing], request.k, kwargs, run_mode == "threaded"
             )
             for position, row in enumerate(missing):
-                self.cache.put(keys[row], fresh_ids[position], fresh_distances[position])
+                cache.put(keys[row], fresh_ids[position], fresh_distances[position])
         else:
             fresh_ids = np.empty((0, request.k), dtype=np.int64)
             fresh_distances = np.empty((0, request.k))

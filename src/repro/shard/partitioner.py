@@ -1,0 +1,229 @@
+"""Partitioning strategies assigning base vectors to shards.
+
+A :class:`Partitioner` answers two questions for a
+:class:`~repro.shard.ShardedIndex`:
+
+* ``partition(base, n_shards)`` — which shard does each vector of the
+  offline build belong to?
+* ``route(vectors, n_shards, shard_sizes)`` — which shard should a vector
+  added *after* the build land in when the deployment next compacts?
+
+``round-robin`` and ``contiguous`` are data-independent (uniform load,
+zero training cost); ``kmeans`` clusters the base so each shard holds a
+spatially coherent region — queries then concentrate their true
+neighbours in few shards, which is the locality that distributed designs
+like SafarDB exploit.  All three persist inside the sharded index's
+manifest via :meth:`Partitioner.state`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional, Tuple
+
+import numpy as np
+
+from ..baselines.kmeans import KMeans
+from ..utils.distances import squared_euclidean
+from ..utils.exceptions import ConfigurationError, ValidationError
+from ..utils.rng import SeedLike
+from ..utils.validation import as_float_matrix, check_positive_int
+
+StateDicts = Tuple[Dict[str, Any], Dict[str, np.ndarray]]
+
+
+class Partitioner:
+    """Base class: assigns build vectors and routes later additions."""
+
+    #: registry key written into the sharded index's manifest
+    name: str = ""
+
+    def partition(self, base: np.ndarray, n_shards: int) -> np.ndarray:
+        """Shard label in ``[0, n_shards)`` for each row of ``base``."""
+        raise NotImplementedError
+
+    def route(
+        self,
+        vectors: np.ndarray,
+        n_shards: int,
+        shard_sizes: Optional[np.ndarray] = None,
+    ) -> np.ndarray:
+        """Shard label for vectors added after the build (compact routing)."""
+        raise NotImplementedError
+
+    # -- persistence (embedded in the sharded index's own state) -------- #
+    def state(self) -> StateDicts:
+        """JSON-able config and numpy arrays describing this partitioner."""
+        return {"partitioner": self.name}, {}
+
+    @classmethod
+    def from_state(
+        cls, config: Dict[str, Any], arrays: Dict[str, np.ndarray]
+    ) -> "Partitioner":
+        return cls()
+
+
+class RoundRobinPartitioner(Partitioner):
+    """Deal vectors to shards like cards: ``row % n_shards``.
+
+    Perfectly balanced and training-free; routing continues the deal from
+    a persistent cursor so repeated ``add`` calls stay balanced too.
+    """
+
+    name = "round-robin"
+
+    def __init__(self, start: int = 0) -> None:
+        self._next = int(start)
+
+    def partition(self, base: np.ndarray, n_shards: int) -> np.ndarray:
+        n = as_float_matrix(base, name="base").shape[0]
+        labels = (np.arange(n, dtype=np.int64) + self._next) % n_shards
+        self._next = int((self._next + n) % n_shards)
+        return labels
+
+    def route(self, vectors, n_shards, shard_sizes=None) -> np.ndarray:
+        n = np.atleast_2d(np.asarray(vectors)).shape[0]
+        labels = (np.arange(n, dtype=np.int64) + self._next) % n_shards
+        self._next = int((self._next + n) % n_shards)
+        return labels
+
+    def state(self) -> StateDicts:
+        return {"partitioner": self.name, "next": int(self._next)}, {}
+
+    @classmethod
+    def from_state(cls, config, arrays) -> "RoundRobinPartitioner":
+        return cls(start=int(config.get("next", 0)))
+
+
+class ContiguousPartitioner(Partitioner):
+    """Split the base into ``n_shards`` contiguous row ranges.
+
+    Preserves any locality already present in the ingest order (time
+    ranges, pre-sorted keys).  Additions are routed to the currently
+    smallest shard to keep the load even.
+    """
+
+    name = "contiguous"
+
+    def partition(self, base: np.ndarray, n_shards: int) -> np.ndarray:
+        n = as_float_matrix(base, name="base").shape[0]
+        labels = np.empty(n, dtype=np.int64)
+        bounds = np.linspace(0, n, n_shards + 1).astype(np.int64)
+        for shard in range(n_shards):
+            labels[bounds[shard] : bounds[shard + 1]] = shard
+        return labels
+
+    def route(self, vectors, n_shards, shard_sizes=None) -> np.ndarray:
+        n = np.atleast_2d(np.asarray(vectors)).shape[0]
+        sizes = (
+            np.zeros(n_shards, dtype=np.int64)
+            if shard_sizes is None
+            else np.asarray(shard_sizes, dtype=np.int64).copy()
+        )
+        labels = np.empty(n, dtype=np.int64)
+        for row in range(n):
+            shard = int(np.argmin(sizes))
+            labels[row] = shard
+            sizes[shard] += 1
+        return labels
+
+
+class KMeansRoutePartitioner(Partitioner):
+    """Cluster the base with K-means; route every vector to its nearest centroid.
+
+    Shards become spatially coherent regions, so a query's true
+    neighbours concentrate in few shards and later additions land next to
+    the points they are close to.
+    """
+
+    name = "kmeans"
+
+    def __init__(
+        self,
+        *,
+        max_iterations: int = 25,
+        seed: SeedLike = None,
+    ) -> None:
+        self.max_iterations = check_positive_int(max_iterations, "max_iterations")
+        self.seed = seed
+        self.centroids: Optional[np.ndarray] = None
+
+    def partition(self, base: np.ndarray, n_shards: int) -> np.ndarray:
+        base = as_float_matrix(base, name="base")
+        clusterer = KMeans(
+            min(n_shards, base.shape[0]),
+            max_iterations=self.max_iterations,
+            seed=self.seed,
+        ).fit(base)
+        self.centroids = clusterer.centroids
+        return np.asarray(clusterer.labels, dtype=np.int64)
+
+    def route(self, vectors, n_shards, shard_sizes=None) -> np.ndarray:
+        if self.centroids is None:
+            raise ValidationError(
+                "KMeansRoutePartitioner cannot route before partition() learned centroids"
+            )
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=np.float64))
+        distances = squared_euclidean(vectors, self.centroids)
+        return np.argmin(distances, axis=1).astype(np.int64)
+
+    def state(self) -> StateDicts:
+        config = {
+            "partitioner": self.name,
+            "max_iterations": int(self.max_iterations),
+        }
+        arrays = {}
+        if self.centroids is not None:
+            arrays["partitioner.centroids"] = self.centroids
+        return config, arrays
+
+    @classmethod
+    def from_state(cls, config, arrays) -> "KMeansRoutePartitioner":
+        partitioner = cls(max_iterations=int(config.get("max_iterations", 25)))
+        centroids = arrays.get("partitioner.centroids")
+        if centroids is not None:
+            partitioner.centroids = np.asarray(centroids, dtype=np.float64)
+        return partitioner
+
+
+_PARTITIONERS: Dict[str, type] = {
+    RoundRobinPartitioner.name: RoundRobinPartitioner,
+    ContiguousPartitioner.name: ContiguousPartitioner,
+    KMeansRoutePartitioner.name: KMeansRoutePartitioner,
+}
+
+
+def available_partitioners() -> Tuple[str, ...]:
+    return tuple(sorted(_PARTITIONERS))
+
+
+def make_partitioner(spec, **params) -> Partitioner:
+    """Resolve a partitioner name (or pass an instance through)."""
+    if isinstance(spec, Partitioner):
+        if params:
+            raise ConfigurationError(
+                "partitioner params are only valid with a partitioner name"
+            )
+        return spec
+    try:
+        cls = _PARTITIONERS[str(spec)]
+    except KeyError:
+        known = ", ".join(available_partitioners())
+        raise ConfigurationError(
+            f"unknown partitioner {spec!r}; available partitioners: {known}"
+        ) from None
+    return cls(**params)
+
+
+def partitioner_from_state(
+    config: Dict[str, Any], arrays: Dict[str, np.ndarray]
+) -> Partitioner:
+    """Rebuild a partitioner from the state embedded in a saved sharded index."""
+    name = str(config.get("partitioner", RoundRobinPartitioner.name))
+    try:
+        cls = _PARTITIONERS[name]
+    except KeyError:
+        known = ", ".join(available_partitioners())
+        raise ConfigurationError(
+            f"saved index uses unknown partitioner {name!r}; known: {known}"
+        ) from None
+    return cls.from_state(config, arrays)

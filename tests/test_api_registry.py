@@ -54,6 +54,10 @@ TINY_PARAMS = {
     "scann": dict(n_subspaces=4, n_codewords=8, seed=0),
     "kmeans-scann": dict(n_bins=4, n_subspaces=4, n_codewords=8, seed=0),
     "usp-scann": dict(config=UspConfig(**_TINY_USP), n_subspaces=4, n_codewords=8, seed=0),
+    "sharded": dict(n_shards=2),
+    "sharded-bruteforce": dict(n_shards=3),
+    "sharded-kmeans": dict(n_shards=2, shard_params=dict(n_bins=2, seed=0)),
+    "sharded-ivf": dict(n_shards=2, shard_params=dict(n_lists=2, seed=0)),
 }
 
 
@@ -122,6 +126,42 @@ class TestProtocol:
 
         with pytest.warns(DeprecationWarning, match="use fit"):
             ProductQuantizer(4, 4, seed=0).build(api_dataset.base)
+
+
+class TestProbeKnobWarning:
+    """Requesting probes on a knobless index warns instead of silently dropping."""
+
+    @pytest.fixture(autouse=True)
+    def _fresh_warning_registry(self):
+        from repro.api.protocol import _reset_probe_warning_registry
+
+        _reset_probe_warning_registry()
+        yield
+        _reset_probe_warning_registry()
+
+    def test_probes_on_knobless_index_warns(self):
+        capabilities = make_index("bruteforce").capabilities
+        with pytest.warns(UserWarning, match="no probe parameter"):
+            assert capabilities.query_kwargs(4) == {}
+
+    def test_warning_fires_once_per_capabilities_value(self):
+        import warnings as warnings_module
+
+        capabilities = make_index("bruteforce").capabilities
+        with pytest.warns(UserWarning):
+            capabilities.query_kwargs(4)
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert capabilities.query_kwargs(4) == {}  # second request is silent
+
+    def test_no_warning_without_probes_or_with_a_knob(self):
+        import warnings as warnings_module
+
+        with warnings_module.catch_warnings():
+            warnings_module.simplefilter("error")
+            assert make_index("bruteforce").capabilities.query_kwargs(None) == {}
+            kmeans = make_index("kmeans", n_bins=4)
+            assert kmeans.capabilities.query_kwargs(3) == {"n_probes": 3}
 
 
 @pytest.mark.parametrize("name", sorted(TINY_PARAMS))

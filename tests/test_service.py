@@ -106,7 +106,11 @@ class TestSearchService:
         service = SearchService(hnsw)
         assert service.query_kwargs(QueryRequest(probes=12)) == {"ef": 12}
         bf = SearchService(make_index("bruteforce").build(service_dataset.base))
-        assert bf.query_kwargs(QueryRequest(probes=12)) == {}
+        from repro.api.protocol import _reset_probe_warning_registry
+
+        _reset_probe_warning_registry()
+        with pytest.warns(UserWarning, match="no probe parameter"):
+            assert bf.query_kwargs(QueryRequest(probes=12)) == {}
         # and the request actually executes on both back-ends
         assert service.search_batch(service_dataset.queries, k=3, probes=12).ids.shape == (24, 3)
         assert bf.search_batch(service_dataset.queries, k=3, probes=12).ids.shape == (24, 3)
@@ -213,6 +217,60 @@ class TestQueryCache:
         second = service.search(service_dataset.queries[0], k=5, probes=2)
         assert not first.cached and second.cached
         np.testing.assert_array_equal(first.ids, second.ids)
+
+
+class TestCacheFreshness:
+    """The cache key covers k/probes/metric, and mutation invalidates entries.
+
+    Regression tests: a cached answer must never outlive the index state
+    it was computed from — neither a metric change nor a mutable-index
+    ``add``/``remove`` may serve stale ids.
+    """
+
+    def test_cache_key_incorporates_k_and_probes(self, kmeans_index, service_dataset):
+        service = SearchService(kmeans_index, cache_size=64)
+        service.search_batch(service_dataset.queries, QueryRequest(k=5, probes=1))
+        other_k = service.search_batch(service_dataset.queries, QueryRequest(k=3, probes=1))
+        other_probes = service.search_batch(service_dataset.queries, QueryRequest(k=5, probes=3))
+        assert other_k.cache_hits == 0
+        assert other_probes.cache_hits == 0
+
+    def test_cache_key_incorporates_metric(self, service_dataset):
+        index = make_index("bruteforce").build(service_dataset.base)
+        service = SearchService(index, cache_size=64)
+        euclidean = service.search_batch(service_dataset.queries, k=5)
+        index.metric = "cosine"  # repoint the live index at another metric
+        cosine = service.search_batch(service_dataset.queries, k=5)
+        assert cosine.cache_hits == 0
+        fresh = make_index("bruteforce", metric="cosine").build(service_dataset.base)
+        np.testing.assert_array_equal(
+            cosine.ids, fresh.batch_query(service_dataset.queries, 5)[0]
+        )
+        assert not np.array_equal(euclidean.distances, cosine.distances)
+
+    @pytest.fixture()
+    def mutable_service(self, service_dataset):
+        from repro.shard import ShardedIndex
+
+        index = ShardedIndex(2, compact_threshold=None).build(service_dataset.base)
+        return SearchService(index, cache_size=64)
+
+    def test_add_invalidates_cached_batches(self, mutable_service, service_dataset):
+        queries = service_dataset.queries
+        mutable_service.search_batch(queries, k=3)
+        added = mutable_service.index.add(queries[:1])  # the query itself: new top-1
+        after = mutable_service.search_batch(queries, k=3)
+        assert after.cache_hits == 0
+        assert after.ids[0, 0] == added[0]
+
+    def test_remove_invalidates_cached_single_queries(self, mutable_service, service_dataset):
+        query = service_dataset.queries[0]
+        before = mutable_service.search(query, k=3)
+        assert mutable_service.search(query, k=3).cached
+        mutable_service.index.remove([int(before.ids[0])])
+        after = mutable_service.search(query, k=3)
+        assert not after.cached
+        assert before.ids[0] not in after.ids
 
 
 @pytest.mark.parametrize("name", sorted(TINY_PARAMS))

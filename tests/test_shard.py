@@ -1,0 +1,481 @@
+"""Tests for the sharded, mutable composite index layer (repro.shard).
+
+The central guarantees:
+
+* **merge correctness** — a ``ShardedIndex`` over ``bruteforce`` shards
+  returns exactly the neighbours a single ``bruteforce`` index returns
+  on the concatenated data, for any shard count and metric (property
+  test over random datasets; continuous random vectors make exact
+  distance ties measure-zero — on data with duplicate vectors the merge
+  guarantees the same neighbour *set* with ids-ascending tie order,
+  while a monolithic scan's tie order is arbitrary);
+* **mutability** — ``add`` / ``remove`` / ``compact`` change query
+  results immediately, keep global ids stable, and survive save/load;
+* **deployment persistence** — a sharded deployment round-trips through
+  ``Router.save`` / ``Router.load`` as a directory of shard artifacts
+  plus manifests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api import MutableIndex, load_index, make_index
+from repro.datasets import sift_like
+from repro.service import QueryRequest, Router, SearchService
+from repro.shard import (
+    ContiguousPartitioner,
+    KMeansRoutePartitioner,
+    RoundRobinPartitioner,
+    ShardedIndex,
+    available_partitioners,
+    make_partitioner,
+)
+from repro.utils.distances import pairwise_topk
+from repro.utils.exceptions import ConfigurationError, NotFittedError, ValidationError
+
+
+def clustered_points(seed: int, n: int, dim: int) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(scale=5.0, size=(4, dim))
+    labels = rng.integers(0, 4, size=n)
+    return centers[labels] + rng.normal(size=(n, dim))
+
+
+@pytest.fixture(scope="module")
+def shard_dataset():
+    return sift_like(n_points=400, n_queries=24, dim=16, n_clusters=4, gt_k=10, seed=5)
+
+
+# ---------------------------------------------------------------------- #
+# partitioners
+# ---------------------------------------------------------------------- #
+class TestPartitioners:
+    def test_registry(self):
+        assert available_partitioners() == ("contiguous", "kmeans", "round-robin")
+        with pytest.raises(ConfigurationError, match="unknown partitioner"):
+            make_partitioner("alphabetical")
+
+    @pytest.mark.parametrize("name", ["round-robin", "contiguous", "kmeans"])
+    def test_every_point_gets_a_shard(self, name, shard_dataset):
+        partitioner = make_partitioner(name)
+        labels = partitioner.partition(shard_dataset.base, 4)
+        assert labels.shape == (shard_dataset.n_points,)
+        assert labels.min() >= 0 and labels.max() < 4
+
+    def test_round_robin_is_balanced_and_cursor_persists(self):
+        partitioner = RoundRobinPartitioner()
+        labels = partitioner.partition(np.zeros((10, 3)), 4)
+        assert np.bincount(labels, minlength=4).max() <= 3
+        # routing continues the deal where the build left off
+        routed = partitioner.route(np.zeros((2, 3)), 4)
+        assert routed.tolist() == [(10 + i) % 4 for i in range(2)]
+
+    def test_contiguous_blocks_and_least_loaded_routing(self):
+        partitioner = ContiguousPartitioner()
+        labels = partitioner.partition(np.zeros((9, 2)), 3)
+        assert labels.tolist() == [0, 0, 0, 1, 1, 1, 2, 2, 2]
+        routed = partitioner.route(np.zeros((2, 2)), 3, shard_sizes=[5, 1, 4])
+        assert routed.tolist() == [1, 1]
+
+    def test_kmeans_routes_to_nearest_centroid(self):
+        points = clustered_points(0, 120, 4)
+        partitioner = KMeansRoutePartitioner(seed=0)
+        labels = partitioner.partition(points, 3)
+        routed = partitioner.route(points[:10], 3)
+        np.testing.assert_array_equal(routed, labels[:10])
+        with pytest.raises(ValidationError, match="before partition"):
+            KMeansRoutePartitioner().route(points[:1], 3)
+
+
+# ---------------------------------------------------------------------- #
+# merge correctness: sharded bruteforce == single bruteforce
+# ---------------------------------------------------------------------- #
+@pytest.mark.parametrize("metric", ["euclidean", "cosine"])
+@pytest.mark.parametrize("n_shards", [1, 2, 4, 7])
+class TestShardedEqualsUnsharded:
+    """Acceptance: the scatter-gather merge is provably exact."""
+
+    @settings(max_examples=5, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_bruteforce_shards_match_single_index(self, n_shards, metric, seed):
+        points = clustered_points(seed, 90 + seed % 40, 6)
+        queries = clustered_points(seed + 1, 8, 6)
+        single = make_index("bruteforce", metric=metric).build(points)
+        sharded = ShardedIndex(n_shards, metric=metric).build(points)
+        expected_ids, expected_distances = single.batch_query(queries, 10)
+        got_ids, got_distances = sharded.batch_query(queries, 10)
+        np.testing.assert_array_equal(expected_ids, got_ids)
+        np.testing.assert_allclose(expected_distances, got_distances, rtol=1e-12)
+
+
+@pytest.mark.parametrize("partitioner", ["round-robin", "contiguous", "kmeans"])
+def test_merge_exact_for_every_partitioner(partitioner, shard_dataset):
+    single = make_index("bruteforce").build(shard_dataset.base)
+    sharded = ShardedIndex(3, partitioner=partitioner).build(shard_dataset.base)
+    expected, _ = single.batch_query(shard_dataset.queries, 10)
+    got, _ = sharded.batch_query(shard_dataset.queries, 10)
+    np.testing.assert_array_equal(expected, got)
+
+
+@pytest.mark.parametrize("parallel", ["serial", "thread", "process"])
+def test_parallel_modes_build_identical_indexes(parallel, shard_dataset):
+    index = ShardedIndex(3, parallel=parallel).build(shard_dataset.base)
+    reference = ShardedIndex(3, parallel="serial").build(shard_dataset.base)
+    got, _ = index.batch_query(shard_dataset.queries, 5)
+    expected, _ = reference.batch_query(shard_dataset.queries, 5)
+    np.testing.assert_array_equal(expected, got)
+    index.close()
+
+
+def test_more_shards_than_points_leaves_empty_shards_harmless():
+    points = np.arange(10, dtype=np.float64).reshape(5, 2)
+    index = ShardedIndex(7).build(points)
+    ids, distances = index.batch_query(points, 3)
+    np.testing.assert_array_equal(ids[:, 0], np.arange(5))
+    assert np.isfinite(distances[:, :3]).all()
+
+
+def test_mixed_backends_in_one_composite(shard_dataset):
+    index = ShardedIndex(
+        3,
+        spec=["bruteforce", "kmeans", "ivf-flat"],
+        shard_params=[{}, dict(n_bins=4, seed=0), dict(n_lists=4, seed=0)],
+    ).build(shard_dataset.base)
+    # probes is translated per shard: n_probes for kmeans/ivf, nothing for
+    # the exact shard — one request shape drives all three backends.
+    ids, _ = index.batch_query(shard_dataset.queries, 5, probes=4)
+    assert ids.shape == (shard_dataset.n_queries, 5)
+    assert {type(s).__name__ for s in index._shards} == {
+        "BruteForceIndex",
+        "KMeansIndex",
+        "IVFFlatIndex",
+    }
+
+
+def test_configuration_errors(shard_dataset):
+    with pytest.raises(ConfigurationError, match="one backend per shard"):
+        ShardedIndex(3, spec=["bruteforce"])
+    with pytest.raises(ConfigurationError, match="does not support metric"):
+        ShardedIndex(2, spec="ivf-flat", metric="cosine")
+    with pytest.raises(ConfigurationError, match="unknown parallel mode"):
+        ShardedIndex(2, parallel="quantum")
+    with pytest.raises(NotFittedError):
+        ShardedIndex(2).batch_query(shard_dataset.queries, 5)
+
+
+# ---------------------------------------------------------------------- #
+# mutability: add / remove / compact
+# ---------------------------------------------------------------------- #
+class TestMutation:
+    @pytest.fixture()
+    def mutable_index(self, shard_dataset):
+        return ShardedIndex(3, compact_threshold=None).build(shard_dataset.base)
+
+    def test_satisfies_mutable_protocol(self, mutable_index):
+        assert isinstance(mutable_index, MutableIndex)
+        assert type(mutable_index).capabilities.mutable
+
+    def test_added_vectors_are_found_immediately(self, mutable_index, shard_dataset):
+        rng = np.random.default_rng(0)
+        new = rng.normal(size=(5, shard_dataset.dim))
+        ids = mutable_index.add(new)
+        np.testing.assert_array_equal(
+            ids, np.arange(shard_dataset.n_points, shard_dataset.n_points + 5)
+        )
+        got, _ = mutable_index.batch_query(new, 1)
+        np.testing.assert_array_equal(got[:, 0], ids)
+        assert mutable_index.n_pending == 5
+        assert mutable_index.n_points == shard_dataset.n_points + 5
+
+    def test_removed_ids_disappear_immediately(self, mutable_index, shard_dataset):
+        target, _ = mutable_index.query(shard_dataset.queries[0], 1)
+        assert mutable_index.remove(target) == 1
+        ids, _ = mutable_index.batch_query(shard_dataset.queries, 10)
+        assert not np.isin(ids, target).any()
+        assert mutable_index.n_tombstones == 1
+
+    def test_remove_validates_ids(self, mutable_index):
+        with pytest.raises(ValidationError, match="ids must be in"):
+            mutable_index.remove([10_000])
+        mutable_index.remove([3])
+        with pytest.raises(ValidationError, match="already removed"):
+            mutable_index.remove([3])
+
+    def test_version_counter_tracks_mutations(self, mutable_index, shard_dataset):
+        assert mutable_index.version == 0
+        mutable_index.add(np.zeros((1, shard_dataset.dim)))
+        mutable_index.remove([0])
+        mutable_index.compact()
+        assert mutable_index.version == 3
+
+    def test_mutated_results_match_fresh_exact_index(self, mutable_index, shard_dataset):
+        """Queries against the mutated composite == exact scan of the live set."""
+        rng = np.random.default_rng(1)
+        added = rng.normal(size=(10, shard_dataset.dim))
+        new_ids = mutable_index.add(added)
+        removed = np.concatenate([[0, 5, 11], new_ids[:2]])
+        mutable_index.remove(removed)
+
+        all_data = np.vstack([shard_dataset.base, added])
+        live = np.setdiff1d(np.arange(all_data.shape[0]), removed)
+        local, _ = pairwise_topk(shard_dataset.queries, all_data[live], 10)
+        expected = live[local]
+        got, _ = mutable_index.batch_query(shard_dataset.queries, 10)
+        np.testing.assert_array_equal(expected, got)
+
+        # compact folds the pending buffer and tombstones into the shards
+        # without changing a single answer (global ids are stable)
+        mutable_index.compact()
+        assert mutable_index.n_pending == 0 and mutable_index.n_tombstones == 0
+        recompacted, _ = mutable_index.batch_query(shard_dataset.queries, 10)
+        np.testing.assert_array_equal(expected, recompacted)
+
+    def test_many_small_adds_stay_exact_through_store_growth(self, shard_dataset):
+        """Streaming one-row add() calls (amortised store growth) stay exact."""
+        base, extra = shard_dataset.base[:100], shard_dataset.base[100:160]
+        index = ShardedIndex(3, compact_threshold=None).build(base)
+        for row in extra:
+            index.add(row[None, :])
+        assert index.n_points == 160 and index.n_pending == 60
+        single = make_index("bruteforce").build(shard_dataset.base[:160])
+        expected, _ = single.batch_query(shard_dataset.queries, 10)
+        got, _ = index.batch_query(shard_dataset.queries, 10)
+        np.testing.assert_array_equal(expected, got)
+
+    def test_auto_compact_threshold(self, shard_dataset):
+        index = ShardedIndex(2, compact_threshold=0.05).build(shard_dataset.base)
+        index.add(np.random.default_rng(2).normal(size=(30, shard_dataset.dim)))
+        assert index.n_pending == 0  # 30/400 > 5% triggered a compaction
+        assert index.version >= 2  # the add and the compaction it triggered
+
+    def test_concurrent_queries_during_mutation_never_tear(self, shard_dataset):
+        """Readers racing a compacting writer get pre- or post-state answers.
+
+        A torn shard/id-table pair would remap a shard-local id through
+        the wrong table: the returned id would not actually lie at the
+        returned distance.  Recomputing distances for every returned id
+        catches that, whichever mutation state each query observed.
+        """
+        import threading
+
+        index = ShardedIndex(4, compact_threshold=None).build(shard_dataset.base)
+        queries = shard_dataset.queries[:4]
+        failures = []
+        stop = threading.Event()
+
+        def reader():
+            while not stop.is_set():
+                ids, distances = index.batch_query(queries, 5)
+                data = index._data  # rows are append-only, never rewritten
+                for row, query in enumerate(queries):
+                    valid = ids[row] >= 0
+                    actual = np.linalg.norm(data[ids[row][valid]] - query, axis=1)
+                    if not np.allclose(actual, distances[row][valid]):
+                        failures.append((ids[row], distances[row]))
+                        return
+
+        threads = [threading.Thread(target=reader) for _ in range(2)]
+        for thread in threads:
+            thread.start()
+        rng = np.random.default_rng(7)
+        try:
+            for _ in range(10):
+                added = index.add(rng.normal(size=(5, shard_dataset.dim)))
+                index.remove(added[:2])
+                index.compact()
+        finally:
+            stop.set()
+            for thread in threads:
+                thread.join()
+        assert not failures
+
+    def test_stats_aggregate_per_shard(self, mutable_index, shard_dataset):
+        mutable_index.add(np.zeros((2, shard_dataset.dim)))
+        mutable_index.remove([1])
+        stats = mutable_index.stats()
+        assert stats["n_shards"] == 3
+        assert stats["pending"] == 2 and stats["tombstones"] == 1
+        assert len(stats["shards"]) == 3
+        assert sum(s["n_points"] for s in stats["shards"]) == shard_dataset.n_points
+        assert 0.0 < stats["shard_balance"] <= 1.0
+        assert stats["partitioner"] == "round-robin"
+
+
+# ---------------------------------------------------------------------- #
+# persistence: shard artifacts + manifest, mutations included
+# ---------------------------------------------------------------------- #
+class TestPersistence:
+    def test_saved_layout_is_shard_artifacts_plus_manifest(self, shard_dataset, tmp_path):
+        index = ShardedIndex(3).build(shard_dataset.base)
+        path = tmp_path / "sharded"
+        index.save(path)
+        assert (path / "index.json").is_file()
+        for shard in range(3):
+            assert (path / f"shard-{shard}" / "index.json").is_file()
+
+    def test_mutations_round_trip_through_save_load(self, shard_dataset, tmp_path):
+        """Acceptance: add/remove/compact survive persistence."""
+        index = ShardedIndex(
+            3, partitioner="kmeans", compact_threshold=None
+        ).build(shard_dataset.base)
+        rng = np.random.default_rng(3)
+        new_ids = index.add(rng.normal(size=(8, shard_dataset.dim)))
+        index.remove([2, 7, int(new_ids[0])])
+        expected, expected_distances = index.batch_query(shard_dataset.queries, 10)
+
+        index.save(tmp_path / "mutated")
+        reloaded = load_index(tmp_path / "mutated")
+        assert isinstance(reloaded, ShardedIndex)
+        assert reloaded.version == index.version
+        assert reloaded.n_pending == index.n_pending
+        got, got_distances = reloaded.batch_query(shard_dataset.queries, 10)
+        np.testing.assert_array_equal(expected, got)
+        np.testing.assert_array_equal(expected_distances, got_distances)
+
+        # the reloaded index is still mutable: compaction works and keeps answers
+        reloaded.compact()
+        compacted, _ = reloaded.batch_query(shard_dataset.queries, 10)
+        np.testing.assert_array_equal(expected, compacted)
+
+    def test_save_after_compact_does_not_resurrect_tombstones(
+        self, shard_dataset, tmp_path
+    ):
+        """Regression: compacted tombstones must stay compacted through save/load."""
+        index = ShardedIndex(3, compact_threshold=None).build(shard_dataset.base)
+        index.remove(np.arange(30))
+        index.compact()
+        assert index.n_tombstones == 0
+        expected, _ = index.batch_query(shard_dataset.queries, 10)
+
+        index.save(tmp_path / "compacted")
+        reloaded = load_index(tmp_path / "compacted")
+        assert reloaded.n_tombstones == 0  # no phantom over-fetch or stats
+        got, _ = reloaded.batch_query(shard_dataset.queries, 10)
+        np.testing.assert_array_equal(expected, got)
+        # the first mutation after reload must not trigger a spurious
+        # auto-compaction (version advances by exactly the add itself)
+        reloaded.compact_threshold = 0.25
+        version = reloaded.version
+        reloaded.add(shard_dataset.queries[:1])
+        assert reloaded.version == version + 1
+
+    def test_per_shard_overfetch_is_local(self, shard_dataset):
+        """Removals in one shard must not inflate every other shard's fetch."""
+        index = ShardedIndex(4, compact_threshold=None).build(shard_dataset.base)
+        victims = index._shard_ids[0][:20]  # all tombstones land in shard 0
+        index.remove(victims)
+        np.testing.assert_array_equal(index._dead_per_shard, [20, 0, 0, 0])
+        single = make_index("bruteforce").build(shard_dataset.base)
+        expected, _ = single.batch_query(shard_dataset.queries, 10)
+        got, _ = index.batch_query(shard_dataset.queries, 10)
+        # merge stays exact: dead ids are filtered, live ranking unchanged
+        live_expected = np.where(
+            np.isin(expected, victims), -1, expected
+        )
+        for row_expected, row_got in zip(live_expected, got):
+            survivors = row_expected[row_expected >= 0]
+            np.testing.assert_array_equal(row_got[: survivors.size], survivors)
+
+    def test_registry_load_dispatches_by_name(self, shard_dataset, tmp_path):
+        from repro.api.persistence import saved_index_name
+
+        index = make_index("sharded-kmeans", n_shards=2, shard_params=dict(n_bins=4, seed=0))
+        index.build(shard_dataset.base)
+        index.save(tmp_path / "by-name")
+        assert saved_index_name(tmp_path / "by-name") == "sharded"
+        reloaded = load_index(tmp_path / "by-name")
+        a, _ = index.batch_query(shard_dataset.queries, 5, probes=2)
+        b, _ = reloaded.batch_query(shard_dataset.queries, 5, probes=2)
+        np.testing.assert_array_equal(a, b)
+
+
+# ---------------------------------------------------------------------- #
+# serving integration: SearchService + Router
+# ---------------------------------------------------------------------- #
+class TestServingIntegration:
+    def test_service_translates_probes_for_the_composite(self, shard_dataset):
+        index = make_index(
+            "sharded-kmeans", n_shards=2, shard_params=dict(n_bins=4, seed=0)
+        ).build(shard_dataset.base)
+        service = SearchService(index)
+        assert service.query_kwargs(QueryRequest(probes=2)) == {"probes": 2}
+        batch = service.search_batch(shard_dataset.queries, QueryRequest(k=5, probes=2))
+        direct, _ = index.batch_query(shard_dataset.queries, 5, probes=2)
+        np.testing.assert_array_equal(batch.ids, direct)
+
+    def test_service_stats_surface_per_shard_stats(self, shard_dataset):
+        index = ShardedIndex(2).build(shard_dataset.base)
+        service = SearchService(index)
+        service.search_batch(shard_dataset.queries, k=3)
+        stats = service.stats()
+        assert stats["index"]["n_shards"] == 2
+        assert len(stats["index"]["shards"]) == 2
+
+    def test_sharded_deployment_roundtrip_through_router(self, shard_dataset, tmp_path):
+        """Acceptance: Router.save / Router.load over a sharded deployment."""
+        router = Router()
+        sharded = ShardedIndex(3, compact_threshold=None).build(shard_dataset.base)
+        sharded.add(np.random.default_rng(4).normal(size=(4, shard_dataset.dim)))
+        sharded.remove([1, 9])
+        router.add_index("shards", sharded, cache_size=8)
+        router.add_index(
+            "exact", make_index("bruteforce").build(shard_dataset.base)
+        )
+
+        deployment = tmp_path / "deployment"
+        router.save(deployment)
+        assert (deployment / "indexes" / "shards" / "shard-0" / "index.json").is_file()
+        reloaded = Router.load(deployment)
+        assert reloaded.names() == router.names()
+        for name in router.names():
+            before = router.search_batch(shard_dataset.queries, name=name, k=5)
+            after = reloaded.search_batch(shard_dataset.queries, name=name, k=5)
+            np.testing.assert_array_equal(before.ids, after.ids)
+            np.testing.assert_array_equal(before.distances, after.distances)
+
+    def test_router_routes_by_mutability(self, shard_dataset):
+        router = Router()
+        router.add_index("shards", ShardedIndex(2).build(shard_dataset.base))
+        router.add_index("exact", make_index("bruteforce").build(shard_dataset.base))
+        assert router.route(mutable=True).name == "shards"
+        assert router.route(mutable=False).name == "exact"
+
+
+# ---------------------------------------------------------------------- #
+# sweep integration: sharded curves
+# ---------------------------------------------------------------------- #
+class TestSweepIntegration:
+    def test_candidate_sets_union_global_ids(self, shard_dataset):
+        index = ShardedIndex(
+            2, spec="kmeans", shard_params=dict(n_bins=4, seed=0)
+        ).build(shard_dataset.base)
+        candidates = index.candidate_sets(shard_dataset.queries, 2)
+        assert len(candidates) == shard_dataset.n_queries
+        for row in candidates:
+            assert row.dtype == np.int64
+            assert row.min() >= 0 and row.max() < shard_dataset.n_points
+            assert np.unique(row).size == row.size  # shards are disjoint
+
+    def test_accuracy_curve_over_sharded_index(self, shard_dataset):
+        from repro.eval import accuracy_candidate_curve
+
+        index = ShardedIndex(
+            2, spec="kmeans", shard_params=dict(n_bins=4, seed=0)
+        ).build(shard_dataset.base)
+        curve = accuracy_candidate_curve(index, shard_dataset, k=5, probes=[1, 4])
+        assert len(curve.points) == 2
+        # probing every per-shard bin makes the candidate union everything
+        assert curve.points[-1].accuracy == 1.0
+
+    def test_shard_scaling_curve(self, shard_dataset):
+        from repro.eval import shard_scaling_curve
+
+        points = shard_scaling_curve(
+            shard_dataset, [1, 2], k=5, compare_serial_build=True
+        )
+        assert [p.n_shards for p in points] == [1, 2]
+        assert all(p.accuracy == 1.0 for p in points)  # bruteforce shards stay exact
+        assert points[0].build_speedup is None
+        assert points[1].serial_build_seconds is not None
