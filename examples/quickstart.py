@@ -20,6 +20,7 @@ from repro.api import available_indexes, load_index, make_index
 from repro.core import UspConfig, UspIndex
 from repro.datasets import sift_like
 from repro.eval import average_candidate_size, knn_accuracy
+from repro.filter import Eq, Range, random_attribute_store
 from repro.service import QueryRequest, SearchService
 
 
@@ -94,7 +95,10 @@ def main() -> None:
     # cache, a thread-pooled path for large batches, and per-service
     # latency/throughput/recall counters.  Requests are QueryRequest
     # objects; `probes` is translated to the right knob for any back-end
-    # (n_probes, ef, or nothing for exact search).
+    # (n_probes for partition/IVF methods, ef for HNSW).  On a back-end
+    # with no probe knob (exact brute force) the setting is not silently
+    # dropped: the capabilities layer warns once per index kind so you
+    # learn the accuracy/cost dial is a no-op there.
     service = SearchService(index, cache_size=1024)
     request = QueryRequest(k=10, probes=2)
     result = service.search_batch(data.queries, request, ground_truth=data.ground_truth)
@@ -148,6 +152,26 @@ def main() -> None:
           f"version={sharded.version}")
     # End-to-end sharded serving (Router, persistence, benchmarks) is in
     # examples/sharded_serving.py and benchmarks/bench_shard.py.
+
+    # ------------------------------------------------------------------ #
+    # Filtered search
+    # ------------------------------------------------------------------ #
+    # Real queries carry predicates ("price < 40", "only shop-0").
+    # Attach columnar per-id metadata to any index and pass a composable
+    # predicate as filter= — every returned id satisfies it, on every
+    # back-end, and the FilterPlanner picks the cheapest strategy for
+    # the predicate's selectivity (see docs/architecture.md).
+    attributes = random_attribute_store(data.base.shape[0], seed=0)
+    sharded.set_attributes(attributes)  # rows added above match nothing yet
+    predicate = Eq("shop", "shop-0") & Range("price", high=40.0)
+    filtered, _ = sharded.batch_query(data.queries, k=10, filter=predicate)
+    allowed = predicate.mask(attributes)
+    print(f"\nfiltered search: predicate selects {allowed.mean():.0%} of ids; "
+          f"all results satisfy it: "
+          f"{bool(allowed[filtered[filtered >= 0]].all())}")
+    # Through the serving layer the predicate also keys the result cache,
+    # so the same vector under a different filter can never hit a stale
+    # answer — see examples/filtered_search.py for the full tour.
 
 
 if __name__ == "__main__":

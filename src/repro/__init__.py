@@ -56,6 +56,7 @@ _LAZY_SUBMODULES = {
     "ann",
     "clustering",
     "eval",
+    "filter",
     "service",
     "shard",
 }
@@ -66,6 +67,9 @@ _LAZY_ATTRS = {
     "MutableIndex": ("repro.api", "MutableIndex"),
     "IndexCapabilities": ("repro.api", "IndexCapabilities"),
     "ShardedIndex": ("repro.shard", "ShardedIndex"),
+    "AttributeStore": ("repro.filter", "AttributeStore"),
+    "Predicate": ("repro.filter", "Predicate"),
+    "FilterPlanner": ("repro.filter", "FilterPlanner"),
     "make_index": ("repro.api", "make_index"),
     "available_indexes": ("repro.api", "available_indexes"),
     "index_info": ("repro.api", "index_info"),
@@ -103,4 +107,4 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from . import ann, api, baselines, clustering, core, datasets, eval, nn, service, shard, utils
+    from . import ann, api, baselines, clustering, core, datasets, eval, filter, nn, service, shard, utils

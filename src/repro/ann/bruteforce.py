@@ -24,6 +24,7 @@ from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_
         probe_parameter=None,
         exact=True,
         shardable=True,
+        filterable=True,
     ),
     description="Exact k-NN by scanning the entire dataset",
 )
@@ -58,17 +59,31 @@ class BruteForceIndex(RegisteredIndex):
         if self._base is None:
             raise NotFittedError("BruteForceIndex has not been built yet")
 
-    def batch_query(self, queries: np.ndarray, k: int = 10) -> Tuple[np.ndarray, np.ndarray]:
-        """Exact top-``k`` indices and distances for each query row."""
+    def batch_query(
+        self, queries: np.ndarray, k: int = 10, *, filter=None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Exact top-``k`` indices and distances for each query row.
+
+        With ``filter=`` (a :class:`repro.filter.Predicate`, boolean mask,
+        or id allowlist) only the allowed rows are scanned — exact over
+        the filtered subset at every selectivity; rows with fewer than
+        ``k`` allowed points are padded with ``-1`` / ``inf``.
+        """
         self._require_built()
         queries = as_query_matrix(queries, self.dim)
         k = min(check_positive_int(k, "k"), self.n_points)
+        if filter is not None:
+            # The planner picks prefilter at every selectivity for exact
+            # indexes — the subset scan is this index's scan.
+            return self._filtered_batch_query(queries, k, filter)
         return pairwise_topk(
             queries, self._base, k, metric=self.metric, block_size=self.block_size
         )
 
-    def query(self, query: np.ndarray, k: int = 10) -> Tuple[np.ndarray, np.ndarray]:
-        indices, distances = self.batch_query(np.atleast_2d(query), k)
+    def query(
+        self, query: np.ndarray, k: int = 10, *, filter=None
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        indices, distances = self.batch_query(np.atleast_2d(query), k, filter=filter)
         return indices[0], distances[0]
 
     # ------------------------------------------------------------------ #

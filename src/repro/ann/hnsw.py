@@ -27,6 +27,7 @@ from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_
         probe_parameter="ef",
         trainable=False,
         shardable=True,
+        filterable=True,
     ),
     description="Hierarchical navigable small-world graph (Malkov & Yashunin 2018)",
 )
@@ -241,10 +242,23 @@ class HnswIndex(RegisteredIndex):
 
     # ------------------------------------------------------------------ #
     def query(
-        self, query: np.ndarray, k: int = 10, *, ef: Optional[int] = None
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        *,
+        ef: Optional[int] = None,
+        filter=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Approximate ``k`` nearest neighbours of one query."""
         self._require_built()
+        if filter is not None:
+            ids, dists = self.batch_query(
+                np.atleast_2d(np.asarray(query, dtype=np.float64)),
+                k,
+                ef=ef,
+                filter=filter,
+            )
+            return ids[0], dists[0]
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         if query.shape[0] != self.dim:
             raise ValidationError("query dimensionality mismatch")
@@ -261,10 +275,22 @@ class HnswIndex(RegisteredIndex):
         return indices, distances
 
     def batch_query(
-        self, queries: np.ndarray, k: int = 10, *, ef: Optional[int] = None
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        *,
+        ef: Optional[int] = None,
+        filter=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         self._require_built()
         queries = as_query_matrix(queries, self.dim)
+        if filter is not None:
+            # Graph traversal cannot skip nodes without breaking
+            # reachability, so the planner post-filters with adaptive
+            # over-fetch (ef widens with the fetch size) or, for highly
+            # selective predicates, brute-forces the surviving subset.
+            kwargs = {} if ef is None else {"ef": int(ef)}
+            return self._filtered_batch_query(queries, k, filter, **kwargs)
         indices = np.full((queries.shape[0], k), -1, dtype=np.int64)
         distances = np.full((queries.shape[0], k), np.inf)
         for i, query in enumerate(queries):

@@ -28,6 +28,7 @@ _IVF_CAPABILITIES = IndexCapabilities(
     probe_parameter="n_probes",
     trainable=True,
     shardable=True,
+    filterable=True,
 )
 
 
@@ -102,10 +103,18 @@ class IVFFlatIndex(RegisteredIndex):
         return np.concatenate(buckets)
 
     def query(
-        self, query: np.ndarray, k: int = 10, *, n_probes: int = 4
+        self, query: np.ndarray, k: int = 10, *, n_probes: int = 4, filter=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Approximate ``k`` nearest neighbours of one query."""
         self._require_built()
+        if filter is not None:
+            ids, dists = self.batch_query(
+                np.atleast_2d(np.asarray(query, dtype=np.float64)),
+                k,
+                n_probes=n_probes,
+                filter=filter,
+            )
+            return ids[0], dists[0]
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         if query.shape[0] != self.dim:
             raise ValidationError("query dimensionality mismatch")
@@ -124,10 +133,12 @@ class IVFFlatIndex(RegisteredIndex):
         return indices, dists
 
     def batch_query(
-        self, queries: np.ndarray, k: int = 10, *, n_probes: int = 4
+        self, queries: np.ndarray, k: int = 10, *, n_probes: int = 4, filter=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         self._require_built()
         queries = as_query_matrix(queries, self.dim)
+        if filter is not None:
+            return self._filtered_batch_query(queries, k, filter, n_probes=int(n_probes))
         indices = np.full((queries.shape[0], k), -1, dtype=np.int64)
         distances = np.full((queries.shape[0], k), np.inf)
         for i, query in enumerate(queries):
@@ -225,11 +236,19 @@ class IVFPQIndex(IVFFlatIndex):
         return self
 
     def query(
-        self, query: np.ndarray, k: int = 10, *, n_probes: int = 4
+        self, query: np.ndarray, k: int = 10, *, n_probes: int = 4, filter=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         self._require_built()
         if self._pq is None:
             raise NotFittedError("IVFPQIndex has not been built yet")
+        if filter is not None:
+            ids, dists = self.batch_query(
+                np.atleast_2d(np.asarray(query, dtype=np.float64)),
+                k,
+                n_probes=n_probes,
+                filter=filter,
+            )
+            return ids[0], dists[0]
         query = np.asarray(query, dtype=np.float64).reshape(-1)
         n_probes = min(check_positive_int(n_probes, "n_probes"), len(self._lists))
         cell_distances = squared_euclidean(query[None, :], self._centroids)[0]

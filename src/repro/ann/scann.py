@@ -133,12 +133,14 @@ class ScannSearcher(RegisteredIndex):
         return self.partitioner.candidate_sets(queries, n_probes)
 
     def batch_query(
-        self, queries: np.ndarray, k: int = 10, *, n_probes: int = 2
+        self, queries: np.ndarray, k: int = 10, *, n_probes: int = 2, filter=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Approximate ``k``-NN for every query row."""
         self._require_built()
         queries = as_query_matrix(queries, self.dim)
         check_positive_int(k, "k")
+        if filter is not None:
+            return self._filtered_batch_query(queries, k, filter, n_probes=int(n_probes))
         candidates_per_query = self._candidates(queries, n_probes)
         out_indices = np.full((queries.shape[0], k), -1, dtype=np.int64)
         out_distances = np.full((queries.shape[0], k), np.inf)
@@ -159,9 +161,11 @@ class ScannSearcher(RegisteredIndex):
         return out_indices, out_distances
 
     def query(
-        self, query: np.ndarray, k: int = 10, *, n_probes: int = 2
+        self, query: np.ndarray, k: int = 10, *, n_probes: int = 2, filter=None
     ) -> Tuple[np.ndarray, np.ndarray]:
-        indices, distances = self.batch_query(np.atleast_2d(query), k, n_probes=n_probes)
+        indices, distances = self.batch_query(
+            np.atleast_2d(query), k, n_probes=n_probes, filter=filter
+        )
         return indices[0], distances[0]
 
     # ------------------------------------------------------------------ #
@@ -292,6 +296,7 @@ _SCANN_CAPABILITIES = IndexCapabilities(
     metrics=("euclidean",),
     probe_parameter="n_probes",
     trainable=True,
+    filterable=True,
 )
 
 register_index(

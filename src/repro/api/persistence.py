@@ -39,6 +39,8 @@ FORMAT_NAME = "repro-index"
 FORMAT_VERSION = 1
 INDEX_FILE = "index.json"
 ARRAYS_FILE = "arrays.npz"
+ATTRIBUTES_FILE = "attributes.json"
+ATTRIBUTES_ARRAYS_FILE = "attributes.npz"
 
 #: hook signatures (documentation only)
 StateTriple = Tuple[Dict[str, Any], Dict[str, np.ndarray], Dict[str, Any]]
@@ -147,7 +149,81 @@ class PersistentIndexMixin:
             raise SerializationError(f"could not save index to {path}: {exc}") from exc
         for child_name, child in children.items():
             save_index(child, path / child_name)
+        self._save_attributes(path)
         return path
+
+    def _save_attributes(self, path: Path) -> None:
+        """Write the attached attribute store (if any) next to the index.
+
+        Stale files from a previous save are removed first: re-saving an
+        index whose store was detached (or saving a store-less index over
+        an old directory) must not resurrect outdated metadata on load.
+        """
+        store = getattr(self, "_attributes", None)
+        if store is None:
+            (path / ATTRIBUTES_FILE).unlink(missing_ok=True)
+            (path / ATTRIBUTES_ARRAYS_FILE).unlink(missing_ok=True)
+            return
+        # A store attached before build() skipped attach-time validation;
+        # catching a row mismatch here beats writing an artifact that
+        # load_index() will reject (mutable indexes may lag, never lead).
+        try:
+            from ..filter.planner import filter_row_count
+
+            rows = filter_row_count(self)
+        except Exception:
+            rows = None
+        capabilities = getattr(type(self), "capabilities", None)
+        mutable = bool(getattr(capabilities, "mutable", False))
+        if rows is not None and (
+            store.n_rows > rows or (store.n_rows != rows and not mutable)
+        ):
+            raise SerializationError(
+                f"cannot save {type(self).__name__}: its attribute store has "
+                f"{store.n_rows} rows but the index has {rows} ids"
+            )
+        # Arrays first, manifest last: a crash between the two writes
+        # leaves either no manifest (the index loads store-less; the old
+        # metadata is gone but nothing is torn) or a manifest whose
+        # arrays are already on disk — never a manifest referencing
+        # arrays that do not exist.
+        (path / ATTRIBUTES_FILE).unlink(missing_ok=True)
+        config, arrays = store.to_state()
+        try:
+            if arrays:
+                np.savez(path / ATTRIBUTES_ARRAYS_FILE, **arrays)
+            else:
+                (path / ATTRIBUTES_ARRAYS_FILE).unlink(missing_ok=True)
+            (path / ATTRIBUTES_FILE).write_text(
+                json.dumps(config, indent=2, sort_keys=True)
+            )
+        except (OSError, TypeError) as exc:
+            raise SerializationError(
+                f"could not save attribute store to {path}: {exc}"
+            ) from exc
+
+    @staticmethod
+    def _load_attributes(path: Path):
+        attributes_file = path / ATTRIBUTES_FILE
+        if not attributes_file.is_file():
+            return None
+        from ..filter.attributes import AttributeStore
+
+        try:
+            config = json.loads(attributes_file.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise SerializationError(f"could not read {attributes_file}: {exc}") from exc
+        arrays: Dict[str, np.ndarray] = {}
+        arrays_file = path / ATTRIBUTES_ARRAYS_FILE
+        if arrays_file.is_file():
+            with np.load(arrays_file) as archive:
+                arrays = {key: archive[key] for key in archive.files}
+        try:
+            return AttributeStore.from_state(config, arrays)
+        except (KeyError, ValueError) as exc:
+            raise SerializationError(
+                f"incompatible attribute store at {path}: {exc}"
+            ) from exc
 
     @classmethod
     def load(cls, path: str | os.PathLike):
@@ -162,6 +238,10 @@ class PersistentIndexMixin:
             return load_index(path / name)
 
         try:
-            return cls._from_state(metadata.get("config", {}), arrays, load_child)
+            index = cls._from_state(metadata.get("config", {}), arrays, load_child)
         except (KeyError, ValueError) as exc:
             raise SerializationError(f"incompatible saved index at {path}: {exc}") from exc
+        store = cls._load_attributes(path)
+        if store is not None:
+            index.set_attributes(store)
+        return index

@@ -42,7 +42,10 @@ class IndexCapabilities:
     probe_parameter:
         Name of the keyword controlling the accuracy/cost trade-off at
         query time: ``"n_probes"`` for partition/IVF methods, ``"ef"`` for
-        HNSW, ``None`` when there is no knob (exact brute force).
+        HNSW, ``None`` when there is no knob (exact brute force).  Asking
+        :meth:`query_kwargs` for probes on a knobless index is *not*
+        silently dropped: it warns once per capabilities value so callers
+        learn their accuracy/cost dial is a no-op on that back-end.
     supports_candidate_sets:
         True when the index exposes ``candidate_sets(queries, n_probes)``
         (every space-partitioning method; required by the sweep harness
@@ -62,6 +65,11 @@ class IndexCapabilities:
     mutable:
         True when the index supports post-build ``add`` / ``remove`` /
         ``compact`` (the :class:`MutableIndex` capability).
+    filterable:
+        True when ``query`` / ``batch_query`` accept ``filter=`` — a
+        :class:`repro.filter.Predicate` (against the attribute store
+        attached with ``set_attributes``), a boolean mask, or an id
+        allowlist — and return only ids satisfying it.
     """
 
     metrics: Tuple[str, ...] = ("euclidean",)
@@ -72,6 +80,7 @@ class IndexCapabilities:
     exact: bool = False
     shardable: bool = False
     mutable: bool = False
+    filterable: bool = False
 
     def supports_metric(self, metric: str) -> bool:
         return metric in self.metrics
@@ -197,9 +206,71 @@ class RegisteredIndex(PersistentIndexMixin):
     #: populated by :func:`repro.api.registry.register_index`
     capabilities: ClassVar[IndexCapabilities] = IndexCapabilities()
 
+    #: per-id metadata attached with :meth:`set_attributes` (class-level
+    #: default so indexes built before the filter layer existed still work)
+    _attributes = None
+
+    def set_attributes(self, store) -> "RegisteredIndex":
+        """Attach an :class:`repro.filter.AttributeStore` (or ``None`` to detach).
+
+        Row ``i`` of the store describes the vector with id ``i``;
+        predicates passed as ``filter=`` to ``query`` / ``batch_query``
+        compile against it.  The store is persisted alongside the index by
+        ``save`` / ``load_index``.
+        """
+        if store is not None:
+            from ..filter.attributes import AttributeStore
+
+            if not isinstance(store, AttributeStore):
+                raise TypeError(
+                    f"set_attributes takes an AttributeStore, got {type(store).__name__}"
+                )
+            # Fail at attach time where possible: a store shorter than an
+            # *immutable* built index would silently exclude the tail ids
+            # from every filtered result (mutable indexes may legally lag
+            # behind until AttributeStore.extend catches up).
+            if getattr(self, "is_built", False) and not self.capabilities.mutable:
+                try:
+                    rows = int(self.n_points)
+                except Exception:
+                    rows = None
+                if rows is not None and store.n_rows != rows:
+                    from ..utils.exceptions import ValidationError
+
+                    raise ValidationError(
+                        f"attribute store has {store.n_rows} rows but "
+                        f"{type(self).__name__} indexes {rows} ids; the store "
+                        "needs exactly one row per id"
+                    )
+        self._attributes = store
+        return self
+
+    @property
+    def attributes(self):
+        """The attached :class:`repro.filter.AttributeStore`, or ``None``."""
+        return self._attributes
+
+    def _filtered_batch_query(self, queries, k: int, filter, **query_kwargs):
+        """Shared ``filter=`` dispatch for every backend's ``batch_query``.
+
+        Resolves the filter (predicate / mask / allowlist) against this
+        index and runs the :class:`repro.filter.FilterPlanner`'s chosen
+        strategy, forwarding the backend's own query keywords
+        (``n_probes``, ``ef``, ...).
+        """
+        from ..filter.planner import filtered_search
+
+        return filtered_search(self, queries, k, filter, query_kwargs=query_kwargs)
+
     def stats(self) -> Dict[str, Any]:
         """Introspection data: size, timings, parameter counts, capabilities."""
-        return basic_index_stats(self)
+        stats = basic_index_stats(self)
+        if self._attributes is not None:
+            stats["attributes"] = {
+                "n_rows": self._attributes.n_rows,
+                "columns": self._attributes.columns(),
+            }
+        return stats
 
     def fit(self, base: np.ndarray, **kwargs):
         """Deprecated alias for :meth:`build` (indexes build, codecs fit)."""

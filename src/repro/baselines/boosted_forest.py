@@ -96,6 +96,7 @@ class _WeightedPcaTree(HyperplaneTreeIndex):
         supports_candidate_sets=True,
         trainable=True,
         reports_parameter_count=True,
+        filterable=True,
     ),
     description="Boosted Search Forest: re-weighted hyperplane trees (Li et al. 2011)",
 )
@@ -179,17 +180,21 @@ class BoostedSearchForestIndex(RegisteredIndex):
         return [per_tree[int(best[i])][i] for i in range(queries.shape[0])]
 
     def batch_query(
-        self, queries: np.ndarray, k: int = 10, *, n_probes: int = 1
+        self, queries: np.ndarray, k: int = 10, *, n_probes: int = 1, filter=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         self._require_built()
         queries = as_query_matrix(queries, self.dim)
+        if filter is not None:
+            return self._filtered_batch_query(queries, k, filter, n_probes=int(n_probes))
         candidates = self.candidate_sets(queries, n_probes)
         return rerank_candidates(self._base, queries, candidates, k, metric=self.metric)
 
     def query(
-        self, query: np.ndarray, k: int = 10, *, n_probes: int = 1
+        self, query: np.ndarray, k: int = 10, *, n_probes: int = 1, filter=None
     ) -> Tuple[np.ndarray, np.ndarray]:
-        indices, distances = self.batch_query(np.atleast_2d(query), k, n_probes=n_probes)
+        indices, distances = self.batch_query(
+            np.atleast_2d(query), k, n_probes=n_probes, filter=filter
+        )
         return indices[0], distances[0]
 
     def num_parameters(self) -> int:

@@ -169,6 +169,7 @@ class KMeans:
         trainable=True,
         reports_parameter_count=True,
         shardable=True,
+        filterable=True,
     ),
     description="K-means Voronoi partition (the ubiquitous baseline)",
 )

@@ -32,6 +32,7 @@ _LSH_CAPABILITIES = IndexCapabilities(
     supports_candidate_sets=True,
     trainable=False,  # data-oblivious: random projections, no learning
     reports_parameter_count=True,
+    filterable=True,
 )
 
 

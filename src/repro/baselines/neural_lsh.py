@@ -40,6 +40,7 @@ _NEURAL_LSH_CAPABILITIES = IndexCapabilities(
     supports_candidate_sets=True,
     trainable=True,
     reports_parameter_count=True,
+    filterable=True,
 )
 
 

@@ -42,6 +42,7 @@ _TREE_CAPABILITIES = IndexCapabilities(
     supports_candidate_sets=True,
     trainable=True,
     reports_parameter_count=True,
+    filterable=True,
 )
 
 

@@ -202,24 +202,35 @@ class PartitionIndexBase(RegisteredIndex):
         return candidates
 
     def query(
-        self, query: np.ndarray, k: int = 10, *, n_probes: int = 1
+        self, query: np.ndarray, k: int = 10, *, n_probes: int = 1, filter=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Return the approximate ``k`` nearest base indices and distances."""
-        indices, distances = self.batch_query(np.atleast_2d(query), k, n_probes=n_probes)
+        indices, distances = self.batch_query(
+            np.atleast_2d(query), k, n_probes=n_probes, filter=filter
+        )
         return indices[0], distances[0]
 
     def batch_query(
-        self, queries: np.ndarray, k: int = 10, *, n_probes: int = 1
+        self, queries: np.ndarray, k: int = 10, *, n_probes: int = 1, filter=None
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Vectorised :meth:`query` over many queries.
 
         Returns ``(indices, distances)`` arrays of shape ``(n_queries, k)``;
         rows are padded with ``-1`` / ``inf`` when a candidate set holds
         fewer than ``k`` points.
+
+        ``filter=`` restricts results to ids satisfying a predicate /
+        mask / allowlist: the :class:`repro.filter.FilterPlanner` masks
+        the candidate sets before the exact re-rank (inline), or
+        brute-forces the surviving subset when the predicate is highly
+        selective (pre-filter) — disallowed ids never reach the distance
+        kernel either way.
         """
         self._require_built()
         queries = as_query_matrix(queries, self.dim)
         check_positive_int(k, "k")
+        if filter is not None:
+            return self._filtered_batch_query(queries, k, filter, n_probes=int(n_probes))
         candidate_lists = self.candidate_sets(queries, n_probes)
         return rerank_candidates(
             self._base, queries, candidate_lists, k, metric=self.metric

@@ -69,6 +69,7 @@ def _make_hierarchical_usp(
         supports_candidate_sets=True,
         trainable=True,
         reports_parameter_count=True,
+        filterable=True,
     ),
     description="Tree of USP partition models (Section 4.4.2)",
 )

@@ -39,6 +39,7 @@ def _make_usp(config: Optional[UspConfig] = None, **params) -> "UspIndex":
         supports_candidate_sets=True,
         trainable=True,
         reports_parameter_count=True,
+        filterable=True,
     ),
     description="Unsupervised Space Partitioning index (the paper's contribution)",
 )

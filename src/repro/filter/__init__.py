@@ -1,0 +1,61 @@
+"""Filtered vector search: attributes, predicates, and the filter planner.
+
+Real deployments rarely serve the pure "top-k over all vectors" workload:
+queries carry predicates ("only docs this user may see", "price < 100").
+This package adds that workload to every index behind the
+:class:`repro.api.AnnIndex` protocol:
+
+* :class:`AttributeStore` — columnar per-id metadata (numeric,
+  categorical, tags), attached to an index with ``set_attributes`` and
+  persisted alongside it by ``save`` / ``load_index``;
+* :class:`Predicate` algebra — :class:`Eq` / :class:`In` / :class:`Range`
+  leaves composed with :class:`And` / :class:`Or` / :class:`Not` (or the
+  ``&`` / ``|`` / ``~`` operators), compiling to numpy boolean masks with
+  canonical cache fingerprints;
+* :class:`FilterPlanner` — picks pre-filter (brute-force the surviving
+  subset), inline candidate masking, or post-filter with adaptive
+  over-fetch, by estimated selectivity and index capability.
+
+Example
+-------
+>>> from repro.filter import AttributeStore, Eq, Range
+>>> store = AttributeStore()
+>>> store.add_categorical("shop", shops).add_numeric("price", prices)
+>>> index.set_attributes(store)
+>>> ids, dists = index.batch_query(
+...     queries, k=10, filter=Eq("shop", "a") & Range("price", high=40.0)
+... )
+"""
+
+from .attributes import AttributeStore, COLUMN_KINDS, random_attribute_store
+from .planner import (
+    DEFAULT_PLANNER,
+    FILTER_STRATEGIES,
+    FilterPlan,
+    FilterPlanner,
+    filter_row_count,
+    filtered_search,
+    resolve_filter,
+)
+from .predicate import And, Eq, In, Not, Or, Predicate, Range, predicate_from_dict
+
+__all__ = [
+    "AttributeStore",
+    "COLUMN_KINDS",
+    "random_attribute_store",
+    "DEFAULT_PLANNER",
+    "FILTER_STRATEGIES",
+    "FilterPlan",
+    "FilterPlanner",
+    "filter_row_count",
+    "filtered_search",
+    "resolve_filter",
+    "And",
+    "Eq",
+    "In",
+    "Not",
+    "Or",
+    "Predicate",
+    "Range",
+    "predicate_from_dict",
+]

@@ -16,11 +16,13 @@ instrumented path applications would serve from.
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Iterator, Mapping, Optional
 
 import numpy as np
 
+from ..filter.predicate import Predicate, predicate_from_dict
 from ..utils.exceptions import ValidationError
 
 
@@ -39,7 +41,7 @@ def _freeze(value: Any) -> Any:
     return repr(value)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, eq=False)
 class QueryRequest:
     """One nearest-neighbour request.
 
@@ -54,6 +56,13 @@ class QueryRequest:
         Upper bound on the average candidate-set size the caller is
         willing to scan.  When ``probes`` is not given, the service plans
         a probe count that fits the budget (partition indexes only).
+    filter:
+        Per-query predicate restricting the result to matching ids: a
+        :class:`repro.filter.Predicate` (evaluated against the index's
+        attached attribute store), a boolean mask, or an id allowlist.
+        Requires a ``filterable`` index; the predicate's canonical
+        fingerprint is part of the result-cache key, so the same vector
+        under different predicates can never share a cached answer.
     metadata:
         Free-form per-request annotations, echoed back on the result.
     extra:
@@ -64,6 +73,7 @@ class QueryRequest:
     k: int = 10
     probes: Optional[int] = None
     candidate_budget: Optional[int] = None
+    filter: Optional[Any] = None
     metadata: Mapping[str, Any] = field(default_factory=dict)
     extra: Mapping[str, Any] = field(default_factory=dict)
 
@@ -74,6 +84,70 @@ class QueryRequest:
             raise ValidationError("QueryRequest.probes must be positive")
         if self.candidate_budget is not None and int(self.candidate_budget) < 1:
             raise ValidationError("QueryRequest.candidate_budget must be positive")
+        if self.filter is not None and not isinstance(self.filter, Predicate):
+            if not isinstance(self.filter, (np.ndarray, list, tuple)):
+                raise ValidationError(
+                    "QueryRequest.filter must be a Predicate, boolean mask, or "
+                    f"id allowlist; got {type(self.filter).__name__}"
+                )
+            # Reject bad dtypes at construction: a float array would fail
+            # at serve time but silently become an int allowlist through
+            # as_dict/from_dict persistence.
+            spec = np.asarray(self.filter)
+            if spec.size == 0:
+                spec = spec.astype(np.int64)  # empty allowlist: match nothing
+            if spec.dtype != bool and not np.issubdtype(spec.dtype, np.integer):
+                raise ValidationError(
+                    "array filters must be a boolean mask or an integer id "
+                    f"allowlist; got dtype {spec.dtype}"
+                )
+            # Snapshot the array into a read-only copy: the request is
+            # frozen (its fingerprint is memoized and keys the result
+            # cache), so a caller mutating the original mask in place
+            # must not change — or desynchronise — this request.
+            frozen = spec.copy()
+            frozen.setflags(write=False)
+            object.__setattr__(self, "filter", frozen)
+
+    def filter_fingerprint(self) -> Any:
+        """Canonical hashable identity of the filter (None when unfiltered).
+
+        Mask/allowlist fingerprints digest the array (dtype + shape +
+        SHA-256 of the bytes) instead of embedding the raw O(corpus)
+        bytes, so result-cache keys stay constant-size; the request is
+        frozen, so the digest is memoized for the per-query hot path.
+        """
+        if self.filter is None:
+            return None
+        if isinstance(self.filter, Predicate):
+            return self.filter.fingerprint()
+        cached = getattr(self, "_filter_fingerprint_cache", None)
+        if cached is None:
+            spec = np.ascontiguousarray(self.filter)
+            digest = hashlib.sha256(spec.tobytes()).hexdigest()
+            cached = ("ndarray-digest", spec.dtype.str, spec.shape, digest)
+            object.__setattr__(self, "_filter_fingerprint_cache", cached)
+        return cached
+
+    # The dataclass-generated __eq__ would compare fields directly, which
+    # is ambiguous for numpy mask/allowlist filters (and for array-valued
+    # metadata); compare (and hash) the canonical cache identity plus the
+    # frozen metadata instead.
+    def _metadata_key(self) -> tuple:
+        return tuple(
+            sorted((str(key), _freeze(value)) for key, value in self.metadata.items())
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, QueryRequest):
+            return NotImplemented
+        return (
+            self.cache_key() == other.cache_key()
+            and self._metadata_key() == other._metadata_key()
+        )
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
 
     def with_updates(self, **changes) -> "QueryRequest":
         """A copy of this request with some fields replaced."""
@@ -85,6 +159,7 @@ class QueryRequest:
             int(self.k),
             None if self.probes is None else int(self.probes),
             None if self.candidate_budget is None else int(self.candidate_budget),
+            self.filter_fingerprint(),
             tuple(
                 sorted((str(key), _freeze(value)) for key, value in self.extra.items())
             ),
@@ -92,22 +167,48 @@ class QueryRequest:
 
     def as_dict(self) -> Dict[str, Any]:
         """JSON-able form (used by router deployment save/restore)."""
+        if self.filter is None:
+            filter_data = None
+        elif isinstance(self.filter, Predicate):
+            filter_data = {"predicate": self.filter.as_dict()}
+        else:
+            spec = np.asarray(self.filter)
+            key = "mask" if spec.dtype == bool else "ids"
+            filter_data = {key: spec.reshape(-1).tolist()}
         return {
             "k": int(self.k),
             "probes": None if self.probes is None else int(self.probes),
             "candidate_budget": (
                 None if self.candidate_budget is None else int(self.candidate_budget)
             ),
+            "filter": filter_data,
             "metadata": dict(self.metadata),
             "extra": dict(self.extra),
         }
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "QueryRequest":
+        filter_data = data.get("filter")
+        if filter_data is None:
+            filter_spec = None
+        elif "predicate" in filter_data:
+            filter_spec = predicate_from_dict(filter_data["predicate"])
+        elif "mask" in filter_data:
+            filter_spec = np.asarray(filter_data["mask"], dtype=bool)
+        elif "ids" in filter_data:
+            filter_spec = np.asarray(filter_data["ids"], dtype=np.int64)
+        else:
+            # An unrecognized payload must fail loudly: falling back to an
+            # empty allowlist would silently serve all-(-1) results.
+            raise ValidationError(
+                f"unknown filter payload keys {sorted(filter_data)}; "
+                "expected 'predicate', 'mask', or 'ids'"
+            )
         return cls(
             k=int(data.get("k", 10)),
             probes=data.get("probes"),
             candidate_budget=data.get("candidate_budget"),
+            filter=filter_spec,
             metadata=dict(data.get("metadata", {})),
             extra=dict(data.get("extra", {})),
         )

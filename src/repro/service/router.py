@@ -103,14 +103,16 @@ class Router:
         metric: Optional[str] = None,
         exact: Optional[bool] = None,
         mutable: Optional[bool] = None,
+        filterable: Optional[bool] = None,
         dim: Optional[int] = None,
     ) -> SearchService:
         """Pick the service answering a request.
 
         With ``name`` the choice is explicit.  Otherwise the capability
         filters narrow the candidates (supported metric, exactness,
-        mutability, vector dimensionality) and the router round-robins
-        over what remains.
+        mutability, predicate support, vector dimensionality) and the
+        router round-robins over what remains.  A request carrying a
+        ``filter`` predicate is implicitly routed to filterable services.
         """
         if name is not None:
             return self.service(name)
@@ -119,13 +121,19 @@ class Router:
                 service
                 for _, service in sorted(self._services.items())
                 if self._eligible(
-                    service, metric=metric, exact=exact, mutable=mutable, dim=dim
+                    service,
+                    metric=metric,
+                    exact=exact,
+                    mutable=mutable,
+                    filterable=filterable,
+                    dim=dim,
                 )
             ]
             if not eligible:
                 raise ConfigurationError(
                     f"no registered service matches metric={metric!r} "
-                    f"exact={exact!r} mutable={mutable!r} dim={dim!r}"
+                    f"exact={exact!r} mutable={mutable!r} "
+                    f"filterable={filterable!r} dim={dim!r}"
                 )
             service = eligible[self._round_robin % len(eligible)]
             self._round_robin += 1
@@ -138,6 +146,7 @@ class Router:
         metric: Optional[str],
         exact: Optional[bool],
         mutable: Optional[bool],
+        filterable: Optional[bool],
         dim: Optional[int],
     ) -> bool:
         capabilities = service.capabilities
@@ -149,6 +158,9 @@ class Router:
                 return False
         if mutable is not None:
             if capabilities is None or capabilities.mutable != mutable:
+                return False
+        if filterable is not None:
+            if capabilities is None or capabilities.filterable != filterable:
                 return False
         if dim is not None and service.dim not in (None, dim):
             return False
@@ -166,6 +178,7 @@ class Router:
         **route_and_overrides,
     ) -> QueryResult:
         route_kwargs, overrides = self._split_route_kwargs(route_and_overrides)
+        self._imply_filterable(name, request, overrides, route_kwargs)
         service = self.route(name, **route_kwargs)
         return service.search(query, request, **overrides)
 
@@ -180,14 +193,31 @@ class Router:
         **route_and_overrides,
     ) -> BatchResult:
         route_kwargs, overrides = self._split_route_kwargs(route_and_overrides)
+        self._imply_filterable(name, request, overrides, route_kwargs)
         service = self.route(name, **route_kwargs)
         return service.search_batch(
             queries, request, mode=mode, ground_truth=ground_truth, **overrides
         )
 
     @staticmethod
+    def _imply_filterable(
+        name: Optional[str],
+        request: Optional[QueryRequest],
+        overrides: Dict[str, Any],
+        route_kwargs: Dict[str, Any],
+    ) -> None:
+        """Route filtered requests to filterable services automatically."""
+        if name is not None or "filterable" in route_kwargs:
+            return
+        has_filter = (
+            request is not None and request.filter is not None
+        ) or overrides.get("filter") is not None
+        if has_filter:
+            route_kwargs["filterable"] = True
+
+    @staticmethod
     def _split_route_kwargs(kwargs: Dict[str, Any]):
-        route_keys = ("metric", "exact", "mutable", "dim")
+        route_keys = ("metric", "exact", "mutable", "filterable", "dim")
         route = {key: kwargs.pop(key) for key in route_keys if key in kwargs}
         return route, kwargs
 

@@ -154,18 +154,59 @@ class SearchService:
             probes = self.plan_probes(request.candidate_budget)
         if probes is not None and capabilities is not None:
             kwargs.update(capabilities.query_kwargs(probes))
+        if request.filter is not None:
+            # Indexes without a capabilities descriptor are treated as
+            # unfilterable: a clear error here beats an opaque TypeError
+            # from batch_query deep inside the batch path.
+            if capabilities is None or not capabilities.filterable:
+                raise ValidationError(
+                    f"index {type(self.index).__name__} does not support "
+                    "filtered queries (capabilities.filterable is not set)"
+                )
+            kwargs["filter"] = self._resolved_filter(request)
         return kwargs
 
+    def _resolved_filter(self, request: QueryRequest):
+        """The request's filter, with id allowlists resolved to one mask.
+
+        An integer allowlist re-materialises an O(n_points) boolean mask
+        inside every ``batch_query`` call — once per micro-batch chunk.
+        The request is frozen (arrays are snapshotted read-only), so the
+        resolved mask is memoized on it, keyed by the index's current row
+        count in case the index mutates between uses.  Predicates and
+        boolean masks pass through: predicates memoize via
+        ``cached_mask`` and masks are already in final form.
+        """
+        spec = request.filter
+        if not isinstance(spec, np.ndarray) or spec.dtype == bool:
+            return spec
+        from ..filter.planner import filter_row_count, resolve_filter
+
+        try:
+            rows = filter_row_count(self.index)
+        except Exception:
+            return spec
+        cached = getattr(request, "_allowlist_mask_cache", None)
+        if cached is not None and cached[0] == rows:
+            return cached[1]
+        mask = resolve_filter(spec, self.index, rows)
+        object.__setattr__(request, "_allowlist_mask_cache", (rows, mask))
+        return mask
+
     def _index_cache_tag(self) -> tuple:
-        """Index-side identity of a cached answer: distance metric + version.
+        """Index-side identity of a cached answer: metric, version, attributes.
 
         The request's own :meth:`QueryRequest.cache_key` covers ``k``,
-        ``probes``, and extra knobs, but the answer also depends on state
-        the request cannot see: the index's distance metric and, for
-        mutable indexes, the mutation ``version`` counter bumped by every
-        ``add`` / ``remove`` / ``compact``.  Folding both into the key
-        (and clearing outdated entries in :meth:`_request_cache`) keeps a
-        cached result from outliving the data it was computed from.
+        ``probes``, the predicate fingerprint, and extra knobs, but the
+        answer also depends on state the request cannot see: the index's
+        distance metric, for mutable indexes the mutation ``version``
+        counter bumped by every ``add`` / ``remove`` / ``compact``, and
+        the identity + version of the attached attribute store — a
+        predicate's meaning changes when ``set_attributes`` swaps the
+        store or :meth:`repro.filter.AttributeStore.extend` grows it.
+        Folding all of these into the key (and clearing outdated entries
+        in :meth:`_request_cache`) keeps a cached result from outliving
+        the data it was computed from.
 
         The two mechanisms deliberately overlap: the clear reclaims the
         memory of every stale entry, while the tag in the key also covers
@@ -175,7 +216,13 @@ class SearchService:
         """
         metric = getattr(self.index, "metric", None)
         version = getattr(self.index, "version", 0)
-        return (None if metric is None else str(metric), int(version or 0))
+        store = getattr(self.index, "attributes", None)
+        store_tag = (
+            None
+            if store is None
+            else (int(getattr(store, "token", id(store))), int(getattr(store, "version", 0)))
+        )
+        return (None if metric is None else str(metric), int(version or 0), store_tag)
 
     def _request_cache(self) -> Optional[QueryCache]:
         """The result cache, invalidated first if the index has mutated."""

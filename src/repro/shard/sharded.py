@@ -51,6 +51,7 @@ _SHARDED_CAPABILITIES = IndexCapabilities(
     exact=False,
     shardable=False,
     mutable=True,
+    filterable=True,
 )
 
 
@@ -432,6 +433,7 @@ class ShardedIndex(RegisteredIndex):
         probes: Optional[int],
         shards: List[Any],
         shard_ids: List[np.ndarray],
+        mask: Optional[np.ndarray] = None,
     ) -> List[Tuple[np.ndarray, np.ndarray]]:
         """Run ``batch_query`` on every non-empty shard, remapped to global ids.
 
@@ -441,6 +443,12 @@ class ShardedIndex(RegisteredIndex):
         the number of tombstones still inside *its own* structure: even
         if every dead id outranked the live ones, the shard still
         surfaces ``k`` live candidates.
+
+        With a global boolean ``mask``, each shard receives its own
+        shard-local slice (``mask[members]``) pushed down as the child's
+        ``filter=`` — disallowed ids are dropped inside the shard, before
+        the global merge, and shards with no surviving member are never
+        queried at all.
         """
         dead_per_shard = self._dead_per_shard
 
@@ -449,10 +457,33 @@ class ShardedIndex(RegisteredIndex):
             members = shard_ids[shard]
             if child is None or members.shape[0] == 0:
                 return None
+            local_mask = None
+            if mask is not None:
+                local_mask = mask[members]
+                if not local_mask.any():
+                    return None
+                if local_mask.all():
+                    # Every member survives: the unfiltered fast path
+                    # returns identical results without planner overhead.
+                    local_mask = None
             local_k = min(k + int(dead_per_shard[shard]), members.shape[0])
-            local_ids, distances = child.batch_query(
-                queries, local_k, **self._child_kwargs(child, probes)
-            )
+            kwargs = self._child_kwargs(child, probes)
+            if local_mask is None:
+                local_ids, distances = child.batch_query(queries, local_k, **kwargs)
+            else:
+                capabilities = getattr(type(child), "capabilities", None)
+                if capabilities is not None and capabilities.filterable:
+                    local_ids, distances = child.batch_query(
+                        queries, local_k, filter=local_mask, **kwargs
+                    )
+                else:
+                    # Unregistered/legacy shard backend: apply the generic
+                    # planner on its behalf so the merge stays exact.
+                    from ..filter.planner import DEFAULT_PLANNER
+
+                    local_ids, distances = DEFAULT_PLANNER.filtered_search(
+                        child, queries, local_k, local_mask, query_kwargs=kwargs
+                    )
             valid = local_ids >= 0
             global_ids = np.where(
                 valid, members[np.clip(local_ids, 0, members.shape[0] - 1)], -1
@@ -467,11 +498,23 @@ class ShardedIndex(RegisteredIndex):
         return [result for result in results if result is not None]
 
     def _pending_topk(
-        self, queries: np.ndarray, k: int, pending: np.ndarray
+        self,
+        queries: np.ndarray,
+        k: int,
+        pending: np.ndarray,
+        mask: Optional[np.ndarray] = None,
     ) -> Optional[Tuple[np.ndarray, np.ndarray]]:
-        """Exact scan of the (snapshot's) pending buffer, tombstones dropped."""
+        """Exact scan of the (snapshot's) pending buffer, tombstones dropped.
+
+        A filter mask restricts the scan the same way it restricts the
+        shards: pending vectors outside the mask (including vectors added
+        after the attribute store was written) are skipped.
+        """
         if pending.shape[0]:
-            pending = pending[self._alive[pending]]
+            keep = self._alive[pending]
+            if mask is not None:
+                keep = keep & mask[pending]
+            pending = pending[keep]
         if pending.shape[0] == 0:
             return None
         local_ids, distances = pairwise_topk(
@@ -527,7 +570,12 @@ class ShardedIndex(RegisteredIndex):
         )
 
     def batch_query(
-        self, queries: np.ndarray, k: int = 10, *, probes: Optional[int] = None
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        *,
+        probes: Optional[int] = None,
+        filter=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Scatter ``queries`` to every shard and gather an exact top-k merge.
 
@@ -536,6 +584,13 @@ class ShardedIndex(RegisteredIndex):
         :class:`~repro.api.IndexCapabilities` (``n_probes``, ``ef``, or
         nothing for exact shards), so mixed-backend deployments are driven
         by one request shape.
+
+        ``filter`` (predicate / boolean mask / id allowlist) is resolved
+        to one global mask and pushed down as per-shard slices *before*
+        the merge; the pending buffer honours it too, and tombstones stay
+        excluded as always.  Ids added after the attribute store was
+        written match no predicate until :meth:`repro.filter.AttributeStore.extend`
+        catches the store up.
         """
         self._require_built()
         queries = as_query_matrix(np.atleast_2d(queries), self.dim)
@@ -544,16 +599,28 @@ class ShardedIndex(RegisteredIndex):
         # shards, id tables, and emptied pending buffer as a single
         # tuple, so this query sees each vector exactly once.
         shards, shard_ids, pending_ids = self._serve_state
-        parts = self._scatter(queries, k, probes, shards, shard_ids)
-        pending = self._pending_topk(queries, k, pending_ids)
+        mask = None
+        if filter is not None:
+            from ..filter.planner import filter_row_count, resolve_filter
+
+            mask = resolve_filter(filter, self, filter_row_count(self))
+        parts = self._scatter(queries, k, probes, shards, shard_ids, mask)
+        pending = self._pending_topk(queries, k, pending_ids, mask)
         if pending is not None:
             parts.append(pending)
         return self._merge_topk(parts, queries.shape[0], k)
 
     def query(
-        self, query: np.ndarray, k: int = 10, *, probes: Optional[int] = None
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        *,
+        probes: Optional[int] = None,
+        filter=None,
     ) -> Tuple[np.ndarray, np.ndarray]:
-        indices, distances = self.batch_query(np.atleast_2d(query), k, probes=probes)
+        indices, distances = self.batch_query(
+            np.atleast_2d(query), k, probes=probes, filter=filter
+        )
         return indices[0], distances[0]
 
     def candidate_sets(self, queries: np.ndarray, n_probes: int = 1) -> List[np.ndarray]:
