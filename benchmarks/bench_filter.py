@@ -115,10 +115,13 @@ def format_report(rows, scale) -> str:
 
 
 def write_results(rows, scale, smoke: bool) -> str:
+    # Smoke runs get their own suffix so CI (and anyone running --smoke
+    # locally) never clobbers the committed full-scale trajectory.
     results_dir = os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
+    suffix = "_smoke" if smoke else ""
     text = format_report(rows, scale)
-    with open(os.path.join(results_dir, "bench_filter.txt"), "w") as handle:
+    with open(os.path.join(results_dir, f"bench_filter{suffix}.txt"), "w") as handle:
         handle.write(text + "\n")
     payload = {
         "benchmark": "bench_filter",
@@ -128,7 +131,7 @@ def write_results(rows, scale, smoke: bool) -> str:
         "selectivities": list(SELECTIVITIES),
         "rows": rows,
     }
-    json_path = os.path.join(results_dir, "bench_filter.json")
+    json_path = os.path.join(results_dir, f"bench_filter{suffix}.json")
     with open(json_path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     return json_path

@@ -9,8 +9,10 @@ The scaling claims behind :mod:`repro.shard`:
 * the online phase keeps its answers — sharded ``batch_query`` merges to
   exactly the single-index result while spreading the scan.
 
-Results are written to ``benchmarks/results/shard_scaling.txt``.  The
-module doubles as a CI smoke test:
+Results are written to ``benchmarks/results/shard_scaling.txt`` (human
+readable) and ``benchmarks/results/bench_shard.json`` (machine readable,
+same shape as ``bench_filter.json``, so the perf trajectory is
+scriptable).  The module doubles as a CI smoke test:
 
     python benchmarks/bench_shard.py --smoke
 
@@ -19,6 +21,7 @@ runs the whole pipeline at a tiny scale so the script can never rot.
 
 from __future__ import annotations
 
+import json
 import os
 import sys
 import time
@@ -157,6 +160,58 @@ def format_report(build_rows, serve_rows, curve_rows, scale) -> str:
     return "\n\n".join(sections)
 
 
+def json_rows(build_rows, serve_rows, curve_rows) -> list:
+    """The three report tables flattened into one machine-readable list."""
+    rows = []
+    for n_shards, serial_s, thread_s, speedup in build_rows:
+        rows.append(
+            {
+                "section": "build",
+                "n_shards": n_shards,
+                "serial_seconds": serial_s,
+                "parallel_seconds": thread_s,
+                "speedup": speedup,
+            }
+        )
+    for kind, n_shards, qps in serve_rows:
+        rows.append(
+            {"section": "serve", "index": kind, "n_shards": n_shards, "qps": qps}
+        )
+    for n_shards, build_s, qps, accuracy in curve_rows:
+        rows.append(
+            {
+                "section": "curve",
+                "n_shards": n_shards,
+                "build_seconds": build_s,
+                "qps": qps,
+                "accuracy": accuracy,
+            }
+        )
+    return rows
+
+
+def write_results(build_rows, serve_rows, curve_rows, scale, smoke: bool) -> str:
+    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    suffix = "_smoke" if smoke else ""
+    text = format_report(build_rows, serve_rows, curve_rows, scale)
+    with open(os.path.join(results_dir, f"shard_scaling{suffix}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    payload = {
+        "benchmark": "bench_shard",
+        "smoke": bool(smoke),
+        "k": K,
+        "scale": dict(scale),
+        "rows": json_rows(build_rows, serve_rows, curve_rows),
+    }
+    # the smoke suffix keeps CI/local smoke runs from clobbering the
+    # committed full-scale trajectory (same convention as the .txt)
+    json_path = os.path.join(results_dir, f"bench_shard{suffix}.json")
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return json_path
+
+
 def test_shard_scaling(benchmark, report):
     from conftest import run_once
 
@@ -166,6 +221,7 @@ def test_shard_scaling(benchmark, report):
     report(
         "shard_scaling", format_report(build_rows, serve_rows, curve_rows, scale)
     )
+    write_results(build_rows, serve_rows, curve_rows, scale, smoke=False)
     # Acceptance: the merge already asserted exactness inside the run; the
     # parallel build must not regress materially against serial (and shows
     # a real speedup wherever more than one core exists).
@@ -179,16 +235,10 @@ def test_shard_scaling(benchmark, report):
 def main(argv=None) -> int:
     argv = sys.argv[1:] if argv is None else argv
     smoke = "--smoke" in argv
-    rows = run_shard_benchmark(smoke=smoke)
-    text = format_report(*rows)
-    print(text)
-    results_dir = os.path.join(os.path.dirname(__file__), "results")
-    os.makedirs(results_dir, exist_ok=True)
-    suffix = "_smoke" if smoke else ""
-    path = os.path.join(results_dir, f"shard_scaling{suffix}.txt")
-    with open(path, "w") as handle:
-        handle.write(text + "\n")
-    print(f"\nwritten to {path}")
+    build_rows, serve_rows, curve_rows, scale = run_shard_benchmark(smoke=smoke)
+    print(format_report(build_rows, serve_rows, curve_rows, scale))
+    json_path = write_results(build_rows, serve_rows, curve_rows, scale, smoke)
+    print(f"\nwritten to {json_path} (and shard_scaling.txt alongside)")
     return 0
 
 

@@ -59,6 +59,7 @@ _LAZY_SUBMODULES = {
     "filter",
     "service",
     "shard",
+    "store",
 }
 
 _LAZY_ATTRS = {
@@ -82,6 +83,9 @@ _LAZY_ATTRS = {
     "UspConfig": ("repro.core", "UspConfig"),
     "load_dataset": ("repro.datasets", "load_dataset"),
     "knn_accuracy": ("repro.eval", "knn_accuracy"),
+    "Collection": ("repro.store", "Collection"),
+    "MaintenanceLoop": ("repro.store", "MaintenanceLoop"),
+    "WriteAheadLog": ("repro.store", "WriteAheadLog"),
     "SearchService": ("repro.service", "SearchService"),
     "QueryRequest": ("repro.service", "QueryRequest"),
     "QueryResult": ("repro.service", "QueryResult"),
@@ -107,4 +111,4 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from . import ann, api, baselines, clustering, core, datasets, eval, filter, nn, service, shard, utils
+    from . import ann, api, baselines, clustering, core, datasets, eval, filter, nn, service, shard, store, utils

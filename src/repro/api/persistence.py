@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import json
 import os
+import zipfile
 from pathlib import Path
 from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
@@ -72,8 +73,14 @@ def _read_arrays(path: Path) -> Dict[str, np.ndarray]:
     try:
         with np.load(arrays_file) as archive:
             return {key: archive[key] for key in archive.files}
-    except OSError as exc:
-        raise SerializationError(f"could not read {arrays_file}: {exc}") from exc
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile, KeyError) as exc:
+        # A truncated/corrupt .npz surfaces as any of these depending on
+        # where the zip archive was cut; all of them mean the same thing —
+        # the artifact cannot be trusted — and must never load as an
+        # silently empty index.
+        raise SerializationError(
+            f"could not read {arrays_file} (truncated or corrupt): {exc}"
+        ) from exc
 
 
 def saved_index_name(path: str | os.PathLike) -> str:
@@ -121,8 +128,20 @@ class PersistentIndexMixin:
         raise NotImplementedError(f"{type(cls).__name__} does not implement _from_state")
 
     # -- public surface ------------------------------------------------- #
-    def save(self, path: str | os.PathLike) -> Path:
-        """Write this built index to the directory ``path`` (created if needed)."""
+    def save(
+        self,
+        path: str | os.PathLike,
+        *,
+        manifest_extra: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Write this built index to the directory ``path`` (created if needed).
+
+        ``manifest_extra`` adds JSON-able annotations to ``index.json``
+        under an ``"extra"`` key — the storage layer stamps snapshots with
+        their collection name, generation number, and last applied WAL
+        sequence this way, so an index artifact knows *which* durable
+        state it materialises without the loader growing new parameters.
+        """
         if not getattr(self, "is_built", False):
             raise SerializationError(
                 f"cannot save {type(self).__name__}: the index has not been built"
@@ -141,6 +160,8 @@ class PersistentIndexMixin:
             "children": sorted(children),
             "config": config,
         }
+        if manifest_extra:
+            metadata["extra"] = dict(manifest_extra)
         try:
             (path / INDEX_FILE).write_text(json.dumps(metadata, indent=2, sort_keys=True))
             if arrays:
@@ -216,8 +237,13 @@ class PersistentIndexMixin:
         arrays: Dict[str, np.ndarray] = {}
         arrays_file = path / ATTRIBUTES_ARRAYS_FILE
         if arrays_file.is_file():
-            with np.load(arrays_file) as archive:
-                arrays = {key: archive[key] for key in archive.files}
+            try:
+                with np.load(arrays_file) as archive:
+                    arrays = {key: archive[key] for key in archive.files}
+            except (OSError, ValueError, EOFError, zipfile.BadZipFile, KeyError) as exc:
+                raise SerializationError(
+                    f"could not read {arrays_file} (truncated or corrupt): {exc}"
+                ) from exc
         try:
             return AttributeStore.from_state(config, arrays)
         except (KeyError, ValueError) as exc:
@@ -230,6 +256,17 @@ class PersistentIndexMixin:
         """Rebuild a saved index of this class from the directory ``path``."""
         path = Path(path)
         metadata = _read_metadata(path)
+        recorded = metadata.get("class")
+        if recorded is not None and recorded != cls.__name__:
+            # A manifest whose registry name dispatched here but whose
+            # recorded class disagrees was hand-edited or mixed from two
+            # artifacts; loading it as this backend would misinterpret
+            # every array.
+            raise SerializationError(
+                f"saved index at {path} records class {recorded!r} but its "
+                f"registry name dispatched to {cls.__name__}; the manifest "
+                "and the artifact do not belong together"
+            )
         arrays = _read_arrays(path)
 
         def load_child(name: str):

@@ -170,7 +170,17 @@ def basic_index_stats(index) -> Dict[str, Any]:
     if name:
         stats["name"] = name
     stats["is_built"] = bool(getattr(index, "is_built", False))
-    for attr in ("n_points", "dim", "n_bins", "n_models", "n_trees", "n_shards", "version"):
+    for attr in (
+        "n_points",
+        "dim",
+        "n_bins",
+        "n_models",
+        "n_trees",
+        "n_shards",
+        "n_pending",
+        "n_tombstones",
+        "version",
+    ):
         try:
             value = getattr(index, attr)
         except Exception:

@@ -261,6 +261,60 @@ class AttributeStore:
     # ------------------------------------------------------------------ #
     # mutation (rows appended for vectors added to a mutable index)
     # ------------------------------------------------------------------ #
+    def canonical_rows(
+        self, rows: Mapping[str, Sequence[Any]], *, expected: Optional[int] = None
+    ) -> Dict[str, List[Any]]:
+        """Validate an :meth:`extend` batch and coerce it to canonical form.
+
+        Performs every structural check ``extend`` would (all columns
+        present, equal lengths, values coercible to each column's kind)
+        *without touching the store*, and returns the rows in their
+        JSON-able canonical shape: floats for numeric columns, strings or
+        ``None`` for categorical ones, sorted unique string lists for
+        tags.  Callers that must not mutate anything on bad input — the
+        storage layer journaling ahead of the apply, the serving layer
+        inserting vectors before metadata — validate through this first.
+        """
+        if not self._columns:
+            raise ValidationError("canonical_rows() needs existing columns; add_* first")
+        rows = {str(name): list(values) for name, values in rows.items()}
+        missing = sorted(set(self._columns) - set(rows))
+        if missing:
+            raise ValidationError(f"attribute rows missing columns: {missing}")
+        unknown = sorted(set(rows) - set(self._columns))
+        if unknown:
+            raise ValidationError(f"attribute rows name unknown columns: {unknown}")
+        lengths = {name: len(values) for name, values in rows.items()}
+        if len(set(lengths.values())) != 1:
+            raise ValidationError(f"attribute rows are ragged: {lengths}")
+        count = next(iter(lengths.values()))
+        if expected is not None and count != expected:
+            raise ValidationError(
+                f"got {count} attribute rows for {expected} vectors"
+            )
+        canonical: Dict[str, List[Any]] = {}
+        for name, values in rows.items():
+            kind = self.column_kind(name)
+            if kind == "numeric":
+                try:
+                    canonical[name] = [float(v) for v in values]
+                except (TypeError, ValueError):
+                    raise ValidationError(
+                        f"column {name!r} needs numeric values"
+                    ) from None
+            elif kind == "categorical":
+                canonical[name] = [None if v is None else str(v) for v in values]
+            else:  # tags
+                try:
+                    canonical[name] = [
+                        sorted({str(tag) for tag in row}) for row in values
+                    ]
+                except TypeError:
+                    raise ValidationError(
+                        f"column {name!r} needs an iterable of tags per row"
+                    ) from None
+        return canonical
+
     def extend(self, rows: Mapping[str, Sequence[Any]]) -> "AttributeStore":
         """Append one batch of rows; every column must receive values.
 

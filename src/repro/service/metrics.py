@@ -101,6 +101,9 @@ class ServiceMetrics:
                 "queries_per_second": (
                     self.queries / self.query_seconds if self.query_seconds > 0 else 0.0
                 ),
+                "cache_hit_ratio": (
+                    self.cache_hits / self.queries if self.queries else 0.0
+                ),
                 "by_mode": dict(self.by_mode),
             }
             if latencies.size:

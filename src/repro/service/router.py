@@ -67,6 +67,20 @@ class Router:
         service = SearchService(index, name=name, **service_kwargs)
         return self.add_service(name, service)
 
+    def add_collection(self, name: str, collection, **service_kwargs) -> SearchService:
+        """Serve a durable :class:`repro.store.Collection` under ``name``.
+
+        ``collection`` is an open collection or a path to one (recovered
+        through :meth:`Collection.open`).  The service's mutation
+        endpoints then journal through the collection's write-ahead log.
+        """
+        from ..store.collection import Collection
+
+        if not isinstance(collection, Collection):
+            collection = Collection.open(collection)
+        service = SearchService(collection, name=name, **service_kwargs)
+        return self.add_service(name, service)
+
     def remove(self, name: str) -> None:
         with self._lock:
             self._services.pop(name, None)
@@ -247,8 +261,16 @@ class Router:
             "services": {},
         }
         for name, service in services.items():
-            service.index.save(path / INDEXES_DIR / name)
-            manifest["services"][name] = service.service_config()
+            config = service.service_config()
+            if service.collection is not None:
+                # A collection is already durable in its own directory;
+                # checkpoint it (so the snapshot is current) and reference
+                # it instead of copying the artifact into the deployment.
+                service.collection.checkpoint()
+                config["collection_path"] = str(Path(service.collection.path).resolve())
+            else:
+                service.index.save(path / INDEXES_DIR / name)
+            manifest["services"][name] = config
         (path / ROUTER_FILE).write_text(json.dumps(manifest, indent=2, sort_keys=True))
         return path
 
@@ -275,10 +297,7 @@ class Router:
             )
         router = cls()
         for name, config in manifest.get("services", {}).items():
-            index = load_index(path / INDEXES_DIR / name)
-            router.add_index(
-                name,
-                index,
+            service_kwargs = dict(
                 batch_size=int(config.get("batch_size", 256)),
                 max_workers=int(config.get("max_workers", 0)) or None,
                 parallel_threshold=int(config.get("parallel_threshold", 512)),
@@ -287,6 +306,11 @@ class Router:
                     config.get("default_request", {})
                 ),
             )
+            collection_path = config.get("collection_path")
+            if collection_path is not None:
+                router.add_collection(name, collection_path, **service_kwargs)
+            else:
+                router.add_index(name, load_index(path / INDEXES_DIR / name), **service_kwargs)
         return router
 
     def __repr__(self) -> str:

@@ -16,6 +16,13 @@ a serving path:
 * every call updates latency/throughput/recall counters exposed via
   :meth:`stats`, so benchmark numbers and production numbers come from
   the same instrumented path.
+
+A service can also wrap a :class:`repro.store.Collection` instead of a
+bare index: queries serve from the collection's index exactly as before,
+while the mutating endpoints (:meth:`SearchService.add` /
+:meth:`~SearchService.remove` / :meth:`~SearchService.extend_attributes`)
+route through the collection's write-ahead log — the call acknowledges
+only after the operation is durably journaled.
 """
 
 from __future__ import annotations
@@ -29,6 +36,7 @@ import numpy as np
 
 from ..api.persistence import load_index
 from ..api.protocol import IndexCapabilities
+from ..store.collection import Collection, is_collection_dir
 from ..utils.exceptions import ValidationError
 from ..utils.validation import as_query_matrix
 from .cache import QueryCache
@@ -78,6 +86,13 @@ class SearchService:
         parallel_threshold: int = 512,
         cache_size: int = 0,
     ) -> None:
+        self.collection: Optional[Collection] = None
+        if isinstance(index, Collection):
+            # Serve the collection's index directly; mutations go through
+            # the collection so they are journaled before acknowledgment.
+            self.collection = index
+            name = name or index.name
+            index = index.index
         if not getattr(index, "is_built", False):
             raise ValidationError(
                 f"SearchService needs a built index; build() or load_index() "
@@ -101,7 +116,15 @@ class SearchService:
     # ------------------------------------------------------------------ #
     @classmethod
     def from_saved(cls, path, **kwargs) -> "SearchService":
-        """Serve a previously saved index directory (PR 1 persistence)."""
+        """Serve a saved index directory — or a durable collection.
+
+        A plain index artifact (PR 1 persistence) is loaded read-only; a
+        :class:`repro.store.Collection` directory is recovered through
+        :meth:`Collection.open` (snapshot + WAL replay) and served with
+        durable mutation endpoints.
+        """
+        if is_collection_dir(path):
+            return cls(Collection.open(path), **kwargs)
         return cls(load_index(path), **kwargs)
 
     @property
@@ -432,13 +455,106 @@ class SearchService:
         return ids, distances, len(keys) - len(missing)
 
     # ------------------------------------------------------------------ #
+    # mutation endpoints (durable when collection-backed)
+    # ------------------------------------------------------------------ #
+    def _mutable_target(self):
+        """The object a mutation goes to: the collection, else the index."""
+        if self.collection is not None:
+            return self.collection
+        capabilities = self.capabilities
+        if capabilities is None or not capabilities.mutable:
+            raise ValidationError(
+                f"service {self.name!r} serves an immutable "
+                f"{type(self.index).__name__}; mutation endpoints need a "
+                "mutable index or a Collection"
+            )
+        return self.index
+
+    def add(self, vectors, attributes=None) -> np.ndarray:
+        """Insert vectors (with optional attribute rows); returns their ids.
+
+        Collection-backed services acknowledge only after the operation
+        is appended to the write-ahead log; bare mutable indexes apply
+        in memory only (lost on restart unless saved).
+        """
+        target = self._mutable_target()
+        if target is self.collection:
+            return self.collection.add(vectors, attributes=attributes)
+        # Validate the attribute rows *before* mutating the index: a bad
+        # batch must not leave vectors inserted with their metadata
+        # rejected (the index and store would stay misaligned forever).
+        rows = None
+        if attributes is not None:
+            store = getattr(self.index, "attributes", None)
+            if store is None:
+                raise ValidationError(
+                    f"service {self.name!r} has no attribute store to extend; "
+                    "attach one with index.set_attributes(...)"
+                )
+            n_vectors = np.atleast_2d(np.asarray(vectors)).shape[0]
+            rows = store.canonical_rows(attributes, expected=n_vectors)
+        ids = np.asarray(self.index.add(vectors), dtype=np.int64)
+        if rows is not None:
+            store.extend(rows)
+        return ids
+
+    def remove(self, ids) -> int:
+        """Remove ids; durably journaled first on collection-backed services."""
+        return self._mutable_target().remove(ids)
+
+    def extend_attributes(self, rows) -> None:
+        """Append attribute rows for already-inserted vectors."""
+        target = self._mutable_target()
+        if target is self.collection:
+            self.collection.set_attributes(rows)
+            return
+        store = getattr(self.index, "attributes", None)
+        if store is None:
+            raise ValidationError(
+                f"service {self.name!r} has no attribute store to extend; "
+                "attach one with index.set_attributes(...)"
+            )
+        store.extend(rows)
+
+    # ------------------------------------------------------------------ #
     # introspection / configuration
     # ------------------------------------------------------------------ #
     def stats(self) -> Dict[str, Any]:
-        """Serving counters plus the wrapped index's own introspection data."""
+        """Serving counters plus the wrapped index's own introspection data.
+
+        One stats surface for operators *and* the storage layer's
+        maintenance loop: on mutable/sharded indexes the top level also
+        carries the ``n_pending`` / ``n_tombstones`` mutation-pressure
+        gauges (and the derived ``mutation_pressure`` ratio), the cache
+        hit ratio is a first-class derived field, and collection-backed
+        services report their durability counters.
+        """
         stats: Dict[str, Any] = {"service": self.name, **self.metrics.snapshot()}
         if self.cache is not None:
             stats["cache"] = self.cache.stats()
+        mutation: Dict[str, Any] = {}
+        for gauge in ("n_pending", "n_tombstones"):
+            try:
+                value = getattr(self.index, gauge)
+            except Exception:
+                continue
+            if value is not None:
+                mutation[gauge] = int(value)
+        if mutation:
+            pressure = getattr(self.index, "mutation_pressure", None)
+            if pressure is not None:
+                mutation["mutation_pressure"] = float(pressure)
+            stats["mutation"] = mutation
+        if self.collection is not None:
+            stats["collection"] = {
+                "name": self.collection.name,
+                "path": str(self.collection.path),
+                "generation": self.collection.generation,
+                "last_seq": self.collection.last_seq,
+                "wal_ops": self.collection.wal_ops,
+                "wal_bytes": self.collection.wal_bytes,
+                "sync": self.collection.sync,
+            }
         try:
             stats["index"] = self.index.stats()
         except Exception:

@@ -364,6 +364,36 @@ class ShardedIndex(RegisteredIndex):
         return int(self._dead_per_shard.sum()) + dead_pending
 
     @property
+    def total_rows(self) -> int:
+        """Rows ever assigned (live + tombstoned): the next add starts here.
+
+        The storage layer journals this alongside each ``add`` so WAL
+        replay can verify the index assigns the exact ids it acknowledged
+        before the crash.
+        """
+        self._require_built()
+        return int(self._data.shape[0])
+
+    def contains(self, ids) -> np.ndarray:
+        """Boolean per id: assigned to this index and not tombstoned.
+
+        Out-of-range ids are simply ``False`` (not an error), so callers
+        — the storage layer validating a ``remove`` before journaling it
+        — can vet arbitrary id lists in one vectorised call.
+        """
+        self._require_built()
+        ids = np.asarray(ids, dtype=np.int64).reshape(-1)
+        valid = (ids >= 0) & (ids < self._alive.shape[0])
+        result = np.zeros(ids.shape[0], dtype=bool)
+        result[valid] = self._alive[ids[valid]]
+        return result
+
+    @property
+    def mutation_pressure(self) -> float:
+        """(pending + tombstoned) / live — the compaction-trigger gauge."""
+        return (self.n_pending + self.n_tombstones) / max(self.n_points, 1)
+
+    @property
     def n_bins(self) -> int:
         """Smallest child bin count: a probe value valid on every shard."""
         bins = [
@@ -765,6 +795,7 @@ class ShardedIndex(RegisteredIndex):
                 "parallel": self.parallel,
                 "pending": self.n_pending,
                 "tombstones": self.n_tombstones,
+                "mutation_pressure": self.mutation_pressure,
                 "shard_sizes": sizes.tolist(),
                 "shard_balance": (
                     float(sizes.min() / sizes.max()) if sizes.max() else 0.0

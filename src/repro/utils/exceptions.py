@@ -30,3 +30,13 @@ class DatasetError(ReproError):
 
 class SerializationError(ReproError):
     """A model or index could not be saved or restored."""
+
+
+class StorageError(ReproError):
+    """A durable collection, its write-ahead log, or a snapshot is unusable.
+
+    Raised by :mod:`repro.store` when the on-disk state cannot be trusted:
+    checksum failures *inside* the log (a torn final record is tolerated,
+    mid-log corruption is not), replay divergence, or mutations attempted
+    after a failed write left memory ahead of the durable log.
+    """

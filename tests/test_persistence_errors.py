@@ -1,0 +1,113 @@
+"""Persistence corruption paths must fail loudly with typed errors.
+
+A production restart loads its indexes from disk; a artifact damaged by a
+partial copy, a full disk, or a botched deploy must raise
+:class:`~repro.utils.exceptions.SerializationError` — never come back as
+a silently empty (or subtly wrong) index.  Covered here:
+
+* truncated / zero-byte / garbage ``arrays.npz``;
+* a sharded deployment missing one shard artifact;
+* a manifest whose registry name and recorded class disagree
+  (hand-edited or mixed from two artifacts);
+* corrupt JSON manifests, including the attribute-store sidecar.
+"""
+
+import json
+import shutil
+
+import numpy as np
+import pytest
+
+from repro.api import load_index, make_index
+from repro.filter import random_attribute_store
+from repro.shard import ShardedIndex
+from repro.utils.exceptions import SerializationError
+
+
+@pytest.fixture()
+def base():
+    return np.random.default_rng(0).normal(size=(80, 8))
+
+
+def save_kmeans(tmp_path, base):
+    path = tmp_path / "kmeans"
+    make_index("kmeans", n_bins=4, seed=0).build(base).save(path)
+    return path
+
+
+class TestTruncatedArrays:
+    def test_truncated_npz_raises(self, tmp_path, base):
+        path = save_kmeans(tmp_path, base)
+        arrays = path / "arrays.npz"
+        arrays.write_bytes(arrays.read_bytes()[: arrays.stat().st_size // 2])
+        with pytest.raises(SerializationError, match="truncated or corrupt"):
+            load_index(path)
+
+    def test_zero_byte_npz_raises(self, tmp_path, base):
+        path = save_kmeans(tmp_path, base)
+        (path / "arrays.npz").write_bytes(b"")
+        with pytest.raises(SerializationError, match="truncated or corrupt"):
+            load_index(path)
+
+    def test_garbage_npz_raises(self, tmp_path, base):
+        path = save_kmeans(tmp_path, base)
+        (path / "arrays.npz").write_bytes(b"not a zip archive at all")
+        with pytest.raises(SerializationError, match="truncated or corrupt"):
+            load_index(path)
+
+    def test_truncated_attribute_arrays_raise(self, tmp_path, base):
+        index = ShardedIndex(2, parallel="serial").build(base)
+        index.set_attributes(random_attribute_store(base.shape[0], seed=1))
+        path = tmp_path / "with-attrs"
+        index.save(path)
+        sidecar = path / "attributes.npz"
+        sidecar.write_bytes(sidecar.read_bytes()[:10])
+        with pytest.raises(SerializationError, match="truncated or corrupt"):
+            load_index(path)
+
+
+class TestMissingArtifacts:
+    def test_missing_shard_artifact_raises(self, tmp_path, base):
+        path = tmp_path / "sharded"
+        ShardedIndex(3, parallel="serial").build(base).save(path)
+        shutil.rmtree(path / "shard-1")
+        with pytest.raises(SerializationError, match="not a saved index"):
+            load_index(path)
+
+    def test_missing_manifest_raises(self, tmp_path, base):
+        path = save_kmeans(tmp_path, base)
+        (path / "index.json").unlink()
+        with pytest.raises(SerializationError, match="not a saved index"):
+            load_index(path)
+
+
+class TestManifestMismatch:
+    def test_registry_name_and_class_disagreeing_raises(self, tmp_path, base):
+        path = save_kmeans(tmp_path, base)
+        metadata = json.loads((path / "index.json").read_text())
+        metadata["name"] = "bruteforce"  # dispatches to the wrong backend
+        (path / "index.json").write_text(json.dumps(metadata))
+        with pytest.raises(SerializationError, match="do not belong together"):
+            load_index(path)
+
+    def test_garbage_manifest_raises(self, tmp_path, base):
+        path = save_kmeans(tmp_path, base)
+        (path / "index.json").write_text("{not json")
+        with pytest.raises(SerializationError, match="could not read"):
+            load_index(path)
+
+    def test_wrong_format_marker_raises(self, tmp_path, base):
+        path = save_kmeans(tmp_path, base)
+        metadata = json.loads((path / "index.json").read_text())
+        metadata["format"] = "something-else"
+        (path / "index.json").write_text(json.dumps(metadata))
+        with pytest.raises(SerializationError, match="is not a repro-index"):
+            load_index(path)
+
+    def test_future_format_version_raises(self, tmp_path, base):
+        path = save_kmeans(tmp_path, base)
+        metadata = json.loads((path / "index.json").read_text())
+        metadata["format_version"] = 99
+        (path / "index.json").write_text(json.dumps(metadata))
+        with pytest.raises(SerializationError, match="format version"):
+            load_index(path)
