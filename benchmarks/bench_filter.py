@@ -114,14 +114,18 @@ def format_report(rows, scale) -> str:
     return f"{header}\n\n{table}"
 
 
-def write_results(rows, scale, smoke: bool) -> str:
+def write_results(rows, scale, smoke: bool, out_dir=None) -> str:
     # Smoke runs get their own suffix so CI (and anyone running --smoke
     # locally) never clobbers the committed full-scale trajectory.
-    results_dir = os.path.join(os.path.dirname(__file__), "results")
+    from conftest import smoke_artifact_guard
+
+    results_dir = out_dir or os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
     suffix = "_smoke" if smoke else ""
     text = format_report(rows, scale)
-    with open(os.path.join(results_dir, f"bench_filter{suffix}.txt"), "w") as handle:
+    text_path = os.path.join(results_dir, f"bench_filter{suffix}.txt")
+    smoke_artifact_guard(text_path, smoke=smoke)
+    with open(text_path, "w") as handle:
         handle.write(text + "\n")
     payload = {
         "benchmark": "bench_filter",
@@ -132,6 +136,7 @@ def write_results(rows, scale, smoke: bool) -> str:
         "rows": rows,
     }
     json_path = os.path.join(results_dir, f"bench_filter{suffix}.json")
+    smoke_artifact_guard(json_path, smoke=smoke)
     with open(json_path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     return json_path
@@ -154,11 +159,14 @@ def test_filtered_search(benchmark, report):
 
 
 def main(argv=None) -> int:
+    from conftest import resolve_out_dir
+
     argv = sys.argv[1:] if argv is None else argv
+    out_dir, argv = resolve_out_dir(argv)
     smoke = "--smoke" in argv
     rows, scale = run_filter_benchmark(smoke=smoke)
     print(format_report(rows, scale))
-    json_path = write_results(rows, scale, smoke)
+    json_path = write_results(rows, scale, smoke, out_dir=out_dir)
     check_exactness(rows)
     print(f"\nwritten to {json_path} (and bench_filter.txt alongside)")
     return 0

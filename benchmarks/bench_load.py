@@ -1,0 +1,334 @@
+"""Load harness for the HTTP serving layer (``repro.net``).
+
+Boots a :class:`repro.net.SearchServer` over a sharded brute-force
+service and drives it with two asyncio traffic generators:
+
+* **closed loop** — ``concurrency`` workers, each issuing the next
+  ``/query`` the moment the previous one returns.  Sweeping concurrency
+  traces out the throughput curve; the knee of that curve is the
+  **saturation QPS** reported at the bottom of the table.
+* **open loop** — requests fired at a fixed arrival rate on fresh
+  connections regardless of completions, the way real traffic arrives.
+  Offered rates past saturation exercise admission control: the server
+  must shed with typed 429s, never by dropping a connection.
+
+Every run (mode x factor x repetition) reports completed/shed/error
+counts, achieved QPS, and p50/p95/p99 latency; raw per-request latency
+samples land in ``results/bench_load_raw{_smoke}/`` (one JSON per run)
+so percentile claims can be re-audited offline.
+
+Results are written to ``benchmarks/results/bench_load.txt`` (human
+readable) and ``benchmarks/results/bench_load.json`` (machine readable,
+same ``{"benchmark", "smoke", "scale", "rows"}`` schema as the other
+harnesses).  ``--smoke`` runs a seconds-scale variant for CI (suffix
+``_smoke``); ``--out-dir PATH`` redirects all artifacts.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.api import make_index
+from repro.eval import format_table
+from repro.net import AsyncHttpClient, SearchServer, ServerConfig
+from repro.service import SearchService
+from repro.store import Collection
+
+K = 10
+
+
+# ---------------------------------------------------------------------- #
+# traffic generators
+# ---------------------------------------------------------------------- #
+def _percentiles(latencies):
+    if not latencies:
+        return {"p50_ms": 0.0, "p95_ms": 0.0, "p99_ms": 0.0}
+    arr = np.asarray(latencies, dtype=np.float64) * 1000.0
+    p50, p95, p99 = np.percentile(arr, [50.0, 95.0, 99.0])
+    return {"p50_ms": float(p50), "p95_ms": float(p95), "p99_ms": float(p99)}
+
+
+async def _closed_loop(host, port, payloads, *, concurrency, duration):
+    """``concurrency`` keep-alive workers, back-to-back requests each."""
+    latencies = []
+    counts = {"ok": 0, "shed": 0, "error": 0, "other": 0}
+    stop_at = time.perf_counter() + duration
+
+    async def worker(wid: int) -> None:
+        async with AsyncHttpClient(host, port) as client:
+            i = wid
+            while time.perf_counter() < stop_at:
+                started = time.perf_counter()
+                try:
+                    status, _, _ = await client.post("/query", payloads[i % len(payloads)])
+                except (OSError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+                    counts["error"] += 1
+                    return
+                waited = time.perf_counter() - started
+                if status == 200:
+                    counts["ok"] += 1
+                    latencies.append(waited)
+                elif status == 429:
+                    counts["shed"] += 1
+                else:
+                    counts["other"] += 1
+                i += concurrency
+
+    started = time.perf_counter()
+    await asyncio.gather(*(worker(w) for w in range(concurrency)))
+    elapsed = time.perf_counter() - started
+    return latencies, counts, elapsed
+
+
+async def _open_loop(host, port, payloads, *, rate, duration):
+    """Fixed arrival rate on fresh connections, completions be damned."""
+    latencies = []
+    counts = {"ok": 0, "shed": 0, "error": 0, "other": 0}
+    n_requests = max(1, int(rate * duration))
+    loop = asyncio.get_running_loop()
+    epoch = loop.time()
+
+    async def one(j: int) -> None:
+        await asyncio.sleep(max(0.0, epoch + j / rate - loop.time()))
+        started = time.perf_counter()
+        try:
+            async with AsyncHttpClient(host, port, timeout=30.0) as client:
+                status, _, _ = await client.post("/query", payloads[j % len(payloads)])
+        except (OSError, asyncio.IncompleteReadError, asyncio.TimeoutError):
+            counts["error"] += 1
+            return
+        waited = time.perf_counter() - started
+        if status == 200:
+            counts["ok"] += 1
+            latencies.append(waited)
+        elif status == 429:
+            counts["shed"] += 1
+        else:
+            counts["other"] += 1
+
+    started = time.perf_counter()
+    await asyncio.gather(*(one(j) for j in range(n_requests)))
+    elapsed = time.perf_counter() - started
+    return latencies, counts, elapsed, n_requests
+
+
+# ---------------------------------------------------------------------- #
+# the benchmark
+# ---------------------------------------------------------------------- #
+def run_load_benchmark(smoke: bool = False, raw_dir=None):
+    if smoke:
+        scale = {
+            "n_base": 1_000,
+            "dim": 16,
+            "k": K,
+            "concurrency": [2, 4],
+            "open_rates": [50.0, 200.0],
+            "repetitions": 1,
+            "duration_seconds": 0.75,
+        }
+    else:
+        scale = {
+            "n_base": 20_000,
+            "dim": 32,
+            "k": K,
+            "concurrency": [1, 2, 4, 8, 16],
+            "open_rates": [100.0, 400.0, 1600.0],
+            "repetitions": 3,
+            "duration_seconds": 2.5,
+        }
+
+    rng = np.random.default_rng(17)
+    base = rng.standard_normal((scale["n_base"], scale["dim"])).astype(np.float32)
+    queries = rng.standard_normal((256, scale["dim"])).astype(np.float32)
+    payloads = [
+        {"vector": q.tolist(), "request": {"k": scale["k"]}} for q in queries
+    ]
+
+    # Serve a *durable* collection, not a bare index: the target is the
+    # full production path (WAL-backed mutations, checkpoint on drain).
+    index = make_index("sharded-bruteforce")
+    index.build(base)
+    workdir = tempfile.mkdtemp(prefix="bench-load-")
+    collection = Collection.create(os.path.join(workdir, "corpus"), index)
+    service = SearchService(collection, cache_size=0)
+    config = ServerConfig(port=0, max_concurrency=4, queue_limit=32)
+    rows = []
+    with SearchServer(service, config=config) as server:
+        host, port = config.host, server.port
+        duration = scale["duration_seconds"]
+        for concurrency in scale["concurrency"]:
+            for rep in range(scale["repetitions"]):
+                latencies, counts, elapsed = asyncio.run(
+                    _closed_loop(
+                        host, port, payloads,
+                        concurrency=concurrency, duration=duration,
+                    )
+                )
+                rows.append(
+                    {
+                        "mode": "closed",
+                        "factor": concurrency,
+                        "repetition": rep,
+                        "offered_qps": None,
+                        "qps": counts["ok"] / elapsed if elapsed else 0.0,
+                        "elapsed_seconds": elapsed,
+                        **counts,
+                        **_percentiles(latencies),
+                        "_raw_latencies": latencies,
+                    }
+                )
+        for rate in scale["open_rates"]:
+            for rep in range(scale["repetitions"]):
+                latencies, counts, elapsed, n_requests = asyncio.run(
+                    _open_loop(
+                        host, port, payloads, rate=rate, duration=duration,
+                    )
+                )
+                rows.append(
+                    {
+                        "mode": "open",
+                        "factor": rate,
+                        "repetition": rep,
+                        "offered_qps": n_requests / elapsed if elapsed else 0.0,
+                        "qps": counts["ok"] / elapsed if elapsed else 0.0,
+                        "elapsed_seconds": elapsed,
+                        **counts,
+                        **_percentiles(latencies),
+                        "_raw_latencies": latencies,
+                    }
+                )
+    clean = server.drain_clean
+    collection.close()
+    shutil.rmtree(workdir, ignore_errors=True)
+
+    if raw_dir is not None:
+        os.makedirs(raw_dir, exist_ok=True)
+        for row in rows:
+            name = f"{row['mode']}_{row['factor']:g}_rep{row['repetition']}.json"
+            with open(os.path.join(raw_dir, name), "w") as handle:
+                json.dump(
+                    {
+                        "mode": row["mode"],
+                        "factor": row["factor"],
+                        "repetition": row["repetition"],
+                        "latency_seconds": row["_raw_latencies"],
+                    },
+                    handle,
+                )
+    for row in rows:
+        del row["_raw_latencies"]
+    return rows, scale, clean
+
+
+def saturation_qps(rows) -> float:
+    """Best achieved closed-loop throughput across the concurrency sweep."""
+    return max((row["qps"] for row in rows if row["mode"] == "closed"), default=0.0)
+
+
+def format_report(rows, scale, clean: bool) -> str:
+    header = (
+        "HTTP serving load harness "
+        f"(n={scale['n_base']}, d={scale['dim']}, k={scale['k']}, "
+        f"{scale['duration_seconds']}s runs x {scale['repetitions']} reps; "
+        f"server: 4 executor threads, queue_limit=32)"
+    )
+    table = format_table(
+        ["mode", "factor", "rep", "qps", "ok", "shed", "error", "p50 ms", "p95 ms", "p99 ms"],
+        [
+            [
+                row["mode"],
+                row["factor"],
+                row["repetition"],
+                row["qps"],
+                row["ok"],
+                row["shed"],
+                row["error"],
+                row["p50_ms"],
+                row["p95_ms"],
+                row["p99_ms"],
+            ]
+            for row in rows
+        ],
+        title="latency / throughput by traffic mode (factor = concurrency | offered rate)",
+        float_format="{:.2f}",
+    )
+    footer = (
+        f"saturation QPS (best closed-loop): {saturation_qps(rows):.1f}\n"
+        f"clean drain on shutdown: {clean}"
+    )
+    return f"{header}\n\n{table}\n\n{footer}"
+
+
+def write_results(rows, scale, clean: bool, smoke: bool, out_dir=None) -> str:
+    from conftest import smoke_artifact_guard
+
+    results_dir = out_dir or os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    suffix = "_smoke" if smoke else ""
+    text_path = os.path.join(results_dir, f"bench_load{suffix}.txt")
+    smoke_artifact_guard(text_path, smoke=smoke)
+    with open(text_path, "w") as handle:
+        handle.write(format_report(rows, scale, clean) + "\n")
+    payload = {
+        "benchmark": "bench_load",
+        "smoke": bool(smoke),
+        "scale": dict(scale),
+        "rows": rows,
+        "saturation_qps": saturation_qps(rows),
+        "drain_clean": bool(clean),
+    }
+    json_path = os.path.join(results_dir, f"bench_load{suffix}.json")
+    smoke_artifact_guard(json_path, smoke=smoke)
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return json_path
+
+
+def check_serving(rows, clean: bool) -> None:
+    """Acceptance: real throughput, typed shed only, clean shutdown."""
+    assert saturation_qps(rows) > 0.0, rows
+    for row in rows:
+        # a dropped connection (transport error) is an admission-control
+        # bug: overload must surface as a typed 429, not a reset
+        assert row["error"] == 0, row
+        assert row["ok"] + row["shed"] + row["other"] > 0, row
+    assert clean, "server did not drain cleanly on shutdown"
+
+
+def test_http_load(benchmark, report):
+    from conftest import RESULTS_DIR, run_once
+
+    raw_dir = os.path.join(str(RESULTS_DIR), "bench_load_raw")
+    rows, scale, clean = run_once(benchmark, run_load_benchmark, raw_dir=raw_dir)
+    report("bench_load", format_report(rows, scale, clean))
+    write_results(rows, scale, clean, smoke=False)
+    check_serving(rows, clean)
+
+
+def main(argv=None) -> int:
+    from conftest import resolve_out_dir
+
+    argv = sys.argv[1:] if argv is None else argv
+    out_dir, argv = resolve_out_dir(argv)
+    smoke = "--smoke" in argv
+    suffix = "_smoke" if smoke else ""
+    results_dir = out_dir or os.path.join(os.path.dirname(__file__), "results")
+    raw_dir = os.path.join(results_dir, f"bench_load_raw{suffix}")
+    rows, scale, clean = run_load_benchmark(smoke=smoke, raw_dir=raw_dir)
+    print(format_report(rows, scale, clean))
+    json_path = write_results(rows, scale, clean, smoke, out_dir=out_dir)
+    check_serving(rows, clean)
+    print(f"\nwritten to {json_path} (raw latencies in {raw_dir})")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -190,12 +190,16 @@ def json_rows(build_rows, serve_rows, curve_rows) -> list:
     return rows
 
 
-def write_results(build_rows, serve_rows, curve_rows, scale, smoke: bool) -> str:
-    results_dir = os.path.join(os.path.dirname(__file__), "results")
+def write_results(build_rows, serve_rows, curve_rows, scale, smoke: bool, out_dir=None) -> str:
+    from conftest import smoke_artifact_guard
+
+    results_dir = out_dir or os.path.join(os.path.dirname(__file__), "results")
     os.makedirs(results_dir, exist_ok=True)
     suffix = "_smoke" if smoke else ""
     text = format_report(build_rows, serve_rows, curve_rows, scale)
-    with open(os.path.join(results_dir, f"shard_scaling{suffix}.txt"), "w") as handle:
+    text_path = os.path.join(results_dir, f"shard_scaling{suffix}.txt")
+    smoke_artifact_guard(text_path, smoke=smoke)
+    with open(text_path, "w") as handle:
         handle.write(text + "\n")
     payload = {
         "benchmark": "bench_shard",
@@ -207,6 +211,7 @@ def write_results(build_rows, serve_rows, curve_rows, scale, smoke: bool) -> str
     # the smoke suffix keeps CI/local smoke runs from clobbering the
     # committed full-scale trajectory (same convention as the .txt)
     json_path = os.path.join(results_dir, f"bench_shard{suffix}.json")
+    smoke_artifact_guard(json_path, smoke=smoke)
     with open(json_path, "w") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
     return json_path
@@ -233,11 +238,14 @@ def test_shard_scaling(benchmark, report):
 
 
 def main(argv=None) -> int:
+    from conftest import resolve_out_dir
+
     argv = sys.argv[1:] if argv is None else argv
+    out_dir, argv = resolve_out_dir(argv)
     smoke = "--smoke" in argv
     build_rows, serve_rows, curve_rows, scale = run_shard_benchmark(smoke=smoke)
     print(format_report(build_rows, serve_rows, curve_rows, scale))
-    json_path = write_results(build_rows, serve_rows, curve_rows, scale, smoke)
+    json_path = write_results(build_rows, serve_rows, curve_rows, scale, smoke, out_dir=out_dir)
     print(f"\nwritten to {json_path} (and shard_scaling.txt alongside)")
     return 0
 

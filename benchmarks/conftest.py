@@ -20,6 +20,57 @@ from repro.eval import ExperimentScale, benchmark_dataset
 RESULTS_DIR = Path(__file__).parent / "results"
 
 
+def smoke_artifact_guard(path, *, smoke: bool) -> None:
+    """Assert that a smoke run never writes a committed full-scale artifact.
+
+    The committed trajectory files (``bench_store.json`` et al.) carry no
+    suffix; smoke runs must write ``*_smoke`` names (or an ``--out-dir``
+    away from ``benchmarks/results``).  Every ``write_results`` routes its
+    target paths through this check, so a naming regression fails loudly
+    in CI instead of silently clobbering history.
+    """
+    path = Path(path)
+    if not smoke:
+        return
+    if path.stem.endswith("_smoke"):
+        return
+    if Path(path).resolve().parent != RESULTS_DIR.resolve():
+        return  # redirected via --out-dir: cannot touch committed files
+    raise AssertionError(
+        f"smoke run would overwrite full-scale artifact {path.name!r} in "
+        f"{RESULTS_DIR}; smoke artifacts must carry the '_smoke' suffix "
+        "or be redirected with --out-dir"
+    )
+
+
+def resolve_out_dir(argv):
+    """Pop ``--out-dir PATH`` (or ``--out-dir=PATH``) from an argv list.
+
+    Returns ``(out_dir_or_None, remaining_argv)``.  Shared by the bench
+    CLIs so CI can redirect artifacts without touching the committed
+    ``benchmarks/results`` trajectory.
+    """
+    remaining = []
+    out_dir = None
+    i = 0
+    argv = list(argv)
+    while i < len(argv):
+        arg = argv[i]
+        if arg == "--out-dir":
+            if i + 1 >= len(argv):
+                raise SystemExit("--out-dir needs a path argument")
+            out_dir = argv[i + 1]
+            i += 2
+            continue
+        if arg.startswith("--out-dir="):
+            out_dir = arg.split("=", 1)[1]
+            i += 1
+            continue
+        remaining.append(arg)
+        i += 1
+    return out_dir, remaining
+
+
 @pytest.fixture(scope="session")
 def bench_scale() -> ExperimentScale:
     """The dataset scale used by all benchmark modules."""

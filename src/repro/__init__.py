@@ -57,6 +57,7 @@ _LAZY_SUBMODULES = {
     "clustering",
     "eval",
     "filter",
+    "net",
     "service",
     "shard",
     "store",
@@ -91,6 +92,8 @@ _LAZY_ATTRS = {
     "QueryResult": ("repro.service", "QueryResult"),
     "BatchResult": ("repro.service", "BatchResult"),
     "Router": ("repro.service", "Router"),
+    "SearchServer": ("repro.net", "SearchServer"),
+    "ServerConfig": ("repro.net", "ServerConfig"),
 }
 
 __all__ = sorted(_LAZY_SUBMODULES | set(_LAZY_ATTRS) | {"__version__"})
@@ -111,4 +114,4 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from . import ann, api, baselines, clustering, core, datasets, eval, filter, nn, service, shard, store, utils
+    from . import ann, api, baselines, clustering, core, datasets, eval, filter, net, nn, service, shard, store, utils

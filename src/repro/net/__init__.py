@@ -1,0 +1,72 @@
+"""Network serving: an asyncio HTTP front-end for the search stack.
+
+The layers below answer queries in process; this package puts them on a
+socket with the behaviours production traffic needs:
+
+* :class:`SearchServer` — stdlib-asyncio HTTP/1.1 server over a
+  :class:`~repro.service.SearchService`, :class:`~repro.service.Router`,
+  or durable :class:`~repro.store.Collection`: JSON ``/query`` /
+  ``/batch_query`` (filters included), durable ``/add`` / ``/remove`` /
+  ``/extend_attributes`` (acknowledged after the WAL fsync), ``/stats``,
+  Prometheus-text ``/metrics``, and ``/healthz``.
+* :class:`AdmissionController` / :class:`Deadline` — bounded admission
+  (typed 429 + ``Retry-After`` shed), per-request deadlines carried into
+  the thread-pooled execution path (504, queued vs. execution stage),
+  and drain-then-stop shutdown.
+* A typed error taxonomy (:mod:`repro.net.errors`) mapping the library's
+  exceptions to stable 4xx/5xx JSON bodies.
+* :class:`AsyncHttpClient` / :func:`request_json` — stdlib clients used
+  by the load harness (``benchmarks/bench_load.py``), tests, and
+  examples.
+
+Example
+-------
+>>> from repro.net import SearchServer, ServerConfig, request_json
+>>> with SearchServer(service, config=ServerConfig(port=0)) as server:
+...     status, body = request_json(
+...         server.url + "/query", method="POST",
+...         body={"vector": queries[0].tolist(), "request": {"k": 5}},
+...     )
+"""
+
+from .admission import AdmissionController, Deadline
+from .client import AsyncHttpClient, request_json
+from .errors import (
+    ApiError,
+    BadRequest,
+    DeadlineExpired,
+    Draining,
+    MethodNotAllowed,
+    NotFound,
+    ShedLoad,
+    StorageUnavailable,
+    UnfilterableIndex,
+    api_error_from,
+)
+from .http import HttpRequest, HttpResponse
+from .metrics import Histogram, ServerMetrics
+from .server import DEADLINE_HEADER, SearchServer, ServerConfig
+
+__all__ = [
+    "AdmissionController",
+    "Deadline",
+    "AsyncHttpClient",
+    "request_json",
+    "ApiError",
+    "BadRequest",
+    "DeadlineExpired",
+    "Draining",
+    "MethodNotAllowed",
+    "NotFound",
+    "ShedLoad",
+    "StorageUnavailable",
+    "UnfilterableIndex",
+    "api_error_from",
+    "HttpRequest",
+    "HttpResponse",
+    "Histogram",
+    "ServerMetrics",
+    "DEADLINE_HEADER",
+    "SearchServer",
+    "ServerConfig",
+]

@@ -1,0 +1,176 @@
+"""HTTP clients for the serving layer — stdlib only.
+
+Two client surfaces, matched to their callers:
+
+* :class:`AsyncHttpClient` — an asyncio keep-alive connection used by
+  the load harness (``benchmarks/bench_load.py``) and concurrency tests;
+  hundreds can run in one event loop, which is what an open-loop
+  generator needs.
+* :func:`request_json` — a blocking one-call helper on
+  :mod:`urllib.request` for examples, quickstarts, and simple scripts.
+
+Both return the parsed JSON body *and* the status code rather than
+raising on non-2xx: the serving layer's 429/503/504 responses are typed
+data (admission control working as designed), not exceptions.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from ..utils.exceptions import ValidationError
+from .http import MAX_HEADER_BYTES
+
+
+class AsyncHttpClient:
+    """One keep-alive HTTP/1.1 connection to a :class:`SearchServer`.
+
+    Not safe for concurrent use from multiple tasks — a load generator
+    opens one client per simulated connection, which also matches how
+    real traffic multiplexes.
+    """
+
+    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+        self.host = str(host)
+        self.port = int(port)
+        self.timeout = float(timeout)
+        self._reader: Optional[asyncio.StreamReader] = None
+        self._writer: Optional[asyncio.StreamWriter] = None
+
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=MAX_HEADER_BYTES * 2
+        )
+
+    async def close(self) -> None:
+        if self._writer is not None:
+            self._writer.close()
+            try:
+                await self._writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+            self._reader = self._writer = None
+
+    async def __aenter__(self) -> "AsyncHttpClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    async def request(
+        self,
+        method: str,
+        path: str,
+        *,
+        body: Any = None,
+        headers: Optional[Mapping[str, str]] = None,
+        deadline_ms: Optional[float] = None,
+    ) -> Tuple[int, Dict[str, str], Any]:
+        """``(status, headers, parsed_body)`` for one request.
+
+        ``deadline_ms`` sets the ``X-Deadline-Ms`` header.  The body is
+        JSON-encoded when given; responses with a JSON content type are
+        parsed, others come back as text.  A server-closed keep-alive
+        connection is re-dialled once.
+        """
+        payload = b"" if body is None else json.dumps(body).encode("utf-8")
+        all_headers: Dict[str, str] = dict(headers or {})
+        if deadline_ms is not None:
+            all_headers["X-Deadline-Ms"] = f"{float(deadline_ms):g}"
+        for attempt in (0, 1):
+            if self._writer is None:
+                await self._connect()
+            try:
+                return await asyncio.wait_for(
+                    self._roundtrip(method, path, payload, all_headers),
+                    timeout=self.timeout,
+                )
+            except (
+                ConnectionResetError,
+                BrokenPipeError,
+                asyncio.IncompleteReadError,
+            ):
+                # The server may close an idle keep-alive connection
+                # between requests; retry exactly once on a fresh dial.
+                await self.close()
+                if attempt:
+                    raise
+        raise AssertionError("unreachable")  # pragma: no cover
+
+    async def _roundtrip(
+        self, method: str, path: str, payload: bytes, headers: Dict[str, str]
+    ) -> Tuple[int, Dict[str, str], Any]:
+        lines = [
+            f"{method.upper()} {path} HTTP/1.1",
+            f"Host: {self.host}:{self.port}",
+            f"Content-Length: {len(payload)}",
+            "Content-Type: application/json",
+        ]
+        for key, value in headers.items():
+            lines.append(f"{key}: {value}")
+        self._writer.write(("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + payload)
+        await self._writer.drain()
+
+        head = (await self._reader.readuntil(b"\r\n\r\n")).decode("latin-1")
+        head_lines = head.split("\r\n")
+        status_parts = head_lines[0].split(" ", 2)
+        if len(status_parts) < 2 or not status_parts[1].isdigit():
+            raise ValidationError(f"malformed status line {head_lines[0]!r}")
+        status = int(status_parts[1])
+        response_headers: Dict[str, str] = {}
+        for line in head_lines[1:]:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            response_headers[name.strip().lower()] = value.strip()
+        length = int(response_headers.get("content-length", 0))
+        raw = await self._reader.readexactly(length) if length else b""
+        if response_headers.get("connection", "").lower() == "close":
+            await self.close()
+        content_type = response_headers.get("content-type", "")
+        parsed: Any
+        if "json" in content_type and raw:
+            parsed = json.loads(raw.decode("utf-8"))
+        else:
+            parsed = raw.decode("utf-8", errors="replace")
+        return status, response_headers, parsed
+
+    async def get(self, path: str, **kwargs) -> Tuple[int, Dict[str, str], Any]:
+        return await self.request("GET", path, **kwargs)
+
+    async def post(self, path: str, body: Any, **kwargs) -> Tuple[int, Dict[str, str], Any]:
+        return await self.request("POST", path, body=body, **kwargs)
+
+
+def request_json(
+    url: str,
+    *,
+    method: str = "GET",
+    body: Any = None,
+    deadline_ms: Optional[float] = None,
+    timeout: float = 60.0,
+) -> Tuple[int, Any]:
+    """Blocking ``(status, parsed_body)`` helper for scripts and examples."""
+    data = None if body is None else json.dumps(body).encode("utf-8")
+    request = urllib.request.Request(
+        url, data=data, method=method.upper(),
+        headers={"Content-Type": "application/json"},
+    )
+    if deadline_ms is not None:
+        request.add_header("X-Deadline-Ms", f"{float(deadline_ms):g}")
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            raw = response.read()
+            status = response.status
+            content_type = response.headers.get("Content-Type", "")
+    except urllib.error.HTTPError as error:
+        raw = error.read()
+        status = error.code
+        content_type = error.headers.get("Content-Type", "")
+    if "json" in content_type and raw:
+        return status, json.loads(raw.decode("utf-8"))
+    return status, raw.decode("utf-8", errors="replace")

@@ -1,0 +1,184 @@
+"""Typed error taxonomy for the HTTP serving layer.
+
+Every failure a request can hit — malformed input, an unknown service,
+an unfilterable index, an overloaded admission queue, an expired
+deadline, a draining server, untrustworthy storage — maps to exactly one
+:class:`ApiError` with an HTTP status, a stable machine-readable
+``code``, and (for retryable conditions) a ``Retry-After`` hint.  The
+mapping from the library's existing exception hierarchy
+(:class:`~repro.utils.exceptions.ValidationError`,
+:class:`~repro.utils.exceptions.StorageError`, ...) lives in
+:func:`api_error_from`, so handlers never branch on exception types and
+clients never see a raw traceback.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Optional
+
+from ..utils.exceptions import (
+    ConfigurationError,
+    NotFittedError,
+    ReproError,
+    SerializationError,
+    StorageError,
+    ValidationError,
+)
+
+
+class ApiError(ReproError):
+    """A request failure with a definite HTTP status and error code.
+
+    Parameters
+    ----------
+    message:
+        Human-readable description, returned in the JSON error body.
+    status:
+        HTTP status code (4xx for caller errors, 5xx for server state).
+    code:
+        Stable machine-readable identifier (``"validation"``,
+        ``"overloaded"``, ``"deadline_exceeded"``, ...); clients branch
+        on this, never on the message text.
+    retry_after:
+        Seconds after which retrying is reasonable; rendered as a
+        ``Retry-After`` header on 429/503 responses.
+    """
+
+    status = 500
+    code = "internal"
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        code: Optional[str] = None,
+        retry_after: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        if status is not None:
+            self.status = int(status)
+        if code is not None:
+            self.code = str(code)
+        self.retry_after = None if retry_after is None else float(retry_after)
+
+    def body(self) -> Dict[str, Any]:
+        """The JSON error envelope every non-2xx response carries."""
+        error: Dict[str, Any] = {
+            "code": self.code,
+            "status": self.status,
+            "message": str(self),
+        }
+        if self.retry_after is not None:
+            error["retry_after_seconds"] = self.retry_after
+        return {"error": error}
+
+    def body_bytes(self) -> bytes:
+        return json.dumps(self.body(), sort_keys=True).encode("utf-8")
+
+
+class BadRequest(ApiError):
+    """Malformed request: unparsable JSON, wrong fields, bad shapes."""
+
+    status = 400
+    code = "bad_request"
+
+
+class NotFound(ApiError):
+    """Unknown endpoint or unknown named service."""
+
+    status = 404
+    code = "not_found"
+
+
+class MethodNotAllowed(ApiError):
+    """The path exists but not under this HTTP method."""
+
+    status = 405
+    code = "method_not_allowed"
+
+
+class UnfilterableIndex(ApiError):
+    """A ``filter`` was sent to a service whose index cannot apply it."""
+
+    status = 422
+    code = "unfilterable_index"
+
+
+class ShedLoad(ApiError):
+    """Admission control refused the request: the bounded queue is full.
+
+    The 429 carries ``Retry-After`` — an estimate of when a slot is
+    likely to be free, derived from the queue depth and the recent
+    execution-time average.
+    """
+
+    status = 429
+    code = "overloaded"
+
+
+class Draining(ApiError):
+    """The server is drain-stopping; new work is refused with 503."""
+
+    status = 503
+    code = "draining"
+
+
+class StorageUnavailable(ApiError):
+    """The backing collection is closed or failed; writes cannot be trusted."""
+
+    status = 503
+    code = "storage_unavailable"
+
+
+class DeadlineExpired(ApiError):
+    """The request's deadline passed before an answer could be produced.
+
+    ``stage`` records where the deadline hit: ``"queued"`` (while waiting
+    for an execution slot — the work never started) or ``"execution"``
+    (between micro-batches of a running request — the remaining chunks
+    were cancelled, not orphaned).
+    """
+
+    status = 504
+    code = "deadline_exceeded"
+
+    def __init__(self, message: str, *, stage: str = "queued", **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        self.stage = str(stage)
+
+    def body(self) -> Dict[str, Any]:
+        payload = super().body()
+        payload["error"]["stage"] = self.stage
+        return payload
+
+
+def api_error_from(exc: BaseException) -> ApiError:
+    """Map any exception from the serving stack to one typed ApiError.
+
+    The one message-based branch — capability-rejected filters — exists
+    because the service layer signals both "bad input" and "index cannot
+    filter" as :class:`ValidationError`; the wire layer distinguishes
+    them (400 vs 422) so a client knows whether to fix the request or
+    re-route it to a filterable service.
+    """
+    if isinstance(exc, ApiError):
+        return exc
+    if isinstance(exc, ValidationError):
+        if "does not support filtered" in str(exc):
+            return UnfilterableIndex(str(exc))
+        return BadRequest(str(exc), code="validation")
+    if isinstance(exc, ConfigurationError):
+        return NotFound(str(exc), code="unknown_service")
+    if isinstance(exc, NotFittedError):
+        return ApiError(str(exc), status=409, code="not_built")
+    if isinstance(exc, StorageError):
+        return StorageUnavailable(str(exc))
+    if isinstance(exc, SerializationError):
+        return ApiError(str(exc), status=500, code="serialization")
+    if isinstance(exc, (json.JSONDecodeError, UnicodeDecodeError)):
+        return BadRequest(f"request body is not valid JSON: {exc}", code="bad_json")
+    if isinstance(exc, (TypeError, KeyError, ValueError)):
+        return BadRequest(f"{type(exc).__name__}: {exc}", code="validation")
+    return ApiError(f"{type(exc).__name__}: {exc}")

@@ -1,0 +1,217 @@
+"""Minimal HTTP/1.1 framing over asyncio streams — stdlib only.
+
+The serving layer deliberately does not pull in an HTTP framework: the
+subset it needs — request line, headers, ``Content-Length`` bodies,
+keep-alive, JSON in/out — is small, and owning the framing is what makes
+the admission/deadline/drain semantics precise (a shed request is still
+a *answered* request: the 429 is written before the connection closes,
+never a dropped socket).
+
+Limits are explicit: header block and body sizes are bounded so a
+misbehaving client cannot balloon server memory, and chunked transfer
+encoding is refused loudly (501) rather than half-supported.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+from urllib.parse import parse_qsl, urlsplit
+
+from .errors import ApiError, BadRequest
+
+#: hard cap on the request line + header block (bytes)
+MAX_HEADER_BYTES = 32 * 1024
+#: default cap on request bodies (bytes); ServerConfig can lower/raise it
+DEFAULT_MAX_BODY_BYTES = 64 * 1024 * 1024
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    409: "Conflict",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request: method, split path/query, headers, raw body."""
+
+    method: str
+    path: str
+    query: Dict[str, str]
+    headers: Dict[str, str]
+    body: bytes
+    http_version: str = "HTTP/1.1"
+
+    @property
+    def keep_alive(self) -> bool:
+        connection = self.headers.get("connection", "").lower()
+        if self.http_version == "HTTP/1.0":
+            return connection == "keep-alive"
+        return connection != "close"
+
+    def json(self) -> Any:
+        """The body parsed as JSON (empty body parses as ``{}``)."""
+        if not self.body:
+            return {}
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise BadRequest(
+                f"request body is not valid JSON: {exc}", code="bad_json"
+            ) from exc
+
+
+@dataclass
+class HttpResponse:
+    """One response about to be framed onto the wire."""
+
+    status: int = 200
+    body: bytes = b""
+    content_type: str = "application/json"
+    headers: Dict[str, str] = field(default_factory=dict)
+    keep_alive: bool = True
+
+    @classmethod
+    def json(cls, payload: Any, *, status: int = 200, **kwargs) -> "HttpResponse":
+        return cls(
+            status=status,
+            body=json.dumps(payload, sort_keys=True).encode("utf-8"),
+            **kwargs,
+        )
+
+    @classmethod
+    def text(cls, text: str, *, status: int = 200, **kwargs) -> "HttpResponse":
+        return cls(
+            status=status,
+            body=text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+            **kwargs,
+        )
+
+    @classmethod
+    def from_error(cls, error: ApiError) -> "HttpResponse":
+        headers: Dict[str, str] = {}
+        if error.retry_after is not None:
+            # Retry-After is an integer header; always round *up* so a
+            # client honouring it never retries before the hinted time.
+            headers["Retry-After"] = str(max(1, int(-(-error.retry_after // 1))))
+        return cls(status=error.status, body=error.body_bytes(), headers=headers)
+
+    def encode(self) -> bytes:
+        reason = REASONS.get(self.status, "Unknown")
+        lines = [
+            f"HTTP/1.1 {self.status} {reason}",
+            f"Content-Type: {self.content_type}",
+            f"Content-Length: {len(self.body)}",
+            f"Connection: {'keep-alive' if self.keep_alive else 'close'}",
+        ]
+        for key, value in self.headers.items():
+            lines.append(f"{key}: {value}")
+        return ("\r\n".join(lines) + "\r\n\r\n").encode("latin-1") + self.body
+
+
+async def read_request(
+    reader, *, max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+) -> Optional[HttpRequest]:
+    """Read one request off the stream; ``None`` on a clean EOF.
+
+    Raises :class:`BadRequest`-family errors for malformed framing; the
+    caller answers them and closes, so a confused peer always gets a
+    status line back.
+    """
+    try:
+        header_block = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF between requests (keep-alive close)
+        raise BadRequest("truncated request head", code="bad_framing") from None
+    except asyncio.LimitOverrunError:
+        raise ApiError(
+            f"request head exceeds {MAX_HEADER_BYTES} bytes",
+            status=413,
+            code="headers_too_large",
+        ) from None
+    if len(header_block) > MAX_HEADER_BYTES:
+        raise ApiError(
+            f"request head exceeds {MAX_HEADER_BYTES} bytes",
+            status=413,
+            code="headers_too_large",
+        )
+    head = header_block.decode("latin-1").split("\r\n")
+    request_line = head[0].split(" ")
+    if len(request_line) != 3:
+        raise BadRequest(f"malformed request line {head[0]!r}", code="bad_framing")
+    method, target, version = request_line
+    if version not in ("HTTP/1.1", "HTTP/1.0"):
+        raise BadRequest(f"unsupported HTTP version {version!r}", code="bad_framing")
+    headers: Dict[str, str] = {}
+    for line in head[1:]:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        if not _:
+            raise BadRequest(f"malformed header line {line!r}", code="bad_framing")
+        headers[name.strip().lower()] = value.strip()
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise ApiError(
+            "chunked transfer encoding is not supported; send Content-Length",
+            status=501,
+            code="chunked_unsupported",
+        )
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n_bytes = int(length)
+        except ValueError:
+            raise BadRequest(
+                f"bad Content-Length {length!r}", code="bad_framing"
+            ) from None
+        if n_bytes < 0:
+            raise BadRequest(f"bad Content-Length {length!r}", code="bad_framing")
+        if n_bytes > max_body_bytes:
+            raise ApiError(
+                f"request body of {n_bytes} bytes exceeds the {max_body_bytes} "
+                "byte limit",
+                status=413,
+                code="body_too_large",
+            )
+        try:
+            body = await reader.readexactly(n_bytes)
+        except asyncio.IncompleteReadError:
+            raise BadRequest("request body shorter than Content-Length", code="bad_framing") from None
+    split = urlsplit(target)
+    return HttpRequest(
+        method=method.upper(),
+        path=split.path or "/",
+        query=dict(parse_qsl(split.query)),
+        headers=headers,
+        body=body,
+        http_version=version,
+    )
+
+
+def parse_float_header(
+    headers: Dict[str, str], name: str
+) -> Tuple[bool, Optional[float]]:
+    """``(present, value)`` for a float-valued header; bad values raise 400."""
+    raw = headers.get(name.lower())
+    if raw is None:
+        return False, None
+    try:
+        value = float(raw)
+    except ValueError:
+        raise BadRequest(f"header {name} must be a number, got {raw!r}") from None
+    return True, value

@@ -1,0 +1,328 @@
+"""Serving-layer observability: counters, histograms, Prometheus text.
+
+The HTTP layer keeps its own counters — requests by endpoint × status,
+sheds, deadline expiries by stage, queue-wait and request-latency
+histograms, queue-depth gauges — and renders them together with the
+wrapped :meth:`SearchService.stats` counters as one Prometheus
+text-format (version 0.0.4) page, so the numbers operators scrape are
+the same numbers the in-process benchmarks report.
+
+Everything here is plain stdlib + dict arithmetic: histograms use fixed
+log-spaced buckets (``le`` labels, cumulative, with ``+Inf``), which is
+exactly what a Prometheus server expects from a client library.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+
+#: log-spaced latency buckets (seconds): 1ms .. 30s
+LATENCY_BUCKETS = (
+    0.001,
+    0.0025,
+    0.005,
+    0.01,
+    0.025,
+    0.05,
+    0.1,
+    0.25,
+    0.5,
+    1.0,
+    2.5,
+    5.0,
+    10.0,
+    30.0,
+)
+
+#: queue-depth buckets (requests waiting+executing at admission time)
+DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class Histogram:
+    """Fixed-bucket cumulative histogram (Prometheus semantics)."""
+
+    def __init__(self, buckets: Iterable[float]) -> None:
+        self.bounds = tuple(sorted(float(b) for b in buckets))
+        self.counts = [0] * (len(self.bounds) + 1)  # last bucket = +Inf
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.total += 1
+        self.sum += value
+        for position, bound in enumerate(self.bounds):
+            if value <= bound:
+                self.counts[position] += 1
+                return
+        self.counts[-1] += 1
+
+    def percentile(self, q: float) -> float:
+        """Approximate percentile from bucket upper bounds (for reports)."""
+        if self.total == 0:
+            return 0.0
+        rank = q / 100.0 * self.total
+        seen = 0
+        for position, bound in enumerate(self.bounds):
+            seen += self.counts[position]
+            if seen >= rank:
+                return bound
+        return float("inf")
+
+    def cumulative(self) -> List[Tuple[str, int]]:
+        """``(le, cumulative_count)`` pairs, ending with ``+Inf``."""
+        pairs: List[Tuple[str, int]] = []
+        running = 0
+        for position, bound in enumerate(self.bounds):
+            running += self.counts[position]
+            pairs.append((format_value(bound), running))
+        pairs.append(("+Inf", self.total))
+        return pairs
+
+
+def format_value(value: Any) -> str:
+    """A number in Prometheus exposition syntax (no trailing zeros noise)."""
+    number = float(value)
+    if number == float("inf"):
+        return "+Inf"
+    if number == int(number) and abs(number) < 1e15:
+        return str(int(number))
+    return repr(number)
+
+
+def format_labels(labels: Mapping[str, Any]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+class ServerMetrics:
+    """Counters behind ``GET /metrics`` (thread-safe: the executor and the
+    event loop both record into it)."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.requests_total: Dict[Tuple[str, int], int] = {}
+        self.shed_total = 0
+        self.draining_refused_total = 0
+        self.deadline_expired_total: Dict[str, int] = {}
+        self.request_seconds = Histogram(LATENCY_BUCKETS)
+        self.queue_seconds = Histogram(LATENCY_BUCKETS)
+        self.queue_depth_observed = Histogram(DEPTH_BUCKETS)
+
+    # ------------------------------------------------------------------ #
+    # recording
+    # ------------------------------------------------------------------ #
+    def observe_request(
+        self,
+        endpoint: str,
+        status: int,
+        *,
+        seconds: Optional[float] = None,
+        queue_seconds: Optional[float] = None,
+        queue_depth: Optional[int] = None,
+    ) -> None:
+        with self._lock:
+            key = (str(endpoint), int(status))
+            self.requests_total[key] = self.requests_total.get(key, 0) + 1
+            if seconds is not None:
+                self.request_seconds.observe(seconds)
+            if queue_seconds is not None:
+                self.queue_seconds.observe(queue_seconds)
+            if queue_depth is not None:
+                self.queue_depth_observed.observe(queue_depth)
+
+    def observe_admission(self, queue_seconds: float, queue_depth: int) -> None:
+        """One admitted request: how long it queued, how deep the queue was."""
+        with self._lock:
+            self.queue_seconds.observe(queue_seconds)
+            self.queue_depth_observed.observe(queue_depth)
+
+    def observe_shed(self) -> None:
+        with self._lock:
+            self.shed_total += 1
+
+    def observe_draining_refusal(self) -> None:
+        with self._lock:
+            self.draining_refused_total += 1
+
+    def observe_deadline(self, stage: str) -> None:
+        with self._lock:
+            self.deadline_expired_total[stage] = (
+                self.deadline_expired_total.get(stage, 0) + 1
+            )
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-able counters (the ``/stats`` view of the same numbers)."""
+        with self._lock:
+            return {
+                "requests_total": {
+                    f"{endpoint}:{status}": count
+                    for (endpoint, status), count in sorted(self.requests_total.items())
+                },
+                "shed_total": self.shed_total,
+                "draining_refused_total": self.draining_refused_total,
+                "deadline_expired_total": dict(self.deadline_expired_total),
+                "requests_observed": self.request_seconds.total,
+                "request_seconds_sum": self.request_seconds.sum,
+                "p50_request_seconds": self.request_seconds.percentile(50),
+                "p95_request_seconds": self.request_seconds.percentile(95),
+                "p99_request_seconds": self.request_seconds.percentile(99),
+            }
+
+    # ------------------------------------------------------------------ #
+    # Prometheus rendering
+    # ------------------------------------------------------------------ #
+    def render(
+        self,
+        *,
+        queue_depth: int = 0,
+        queue_waiting: int = 0,
+        draining: bool = False,
+        service_stats: Optional[Mapping[str, Mapping[str, Any]]] = None,
+    ) -> str:
+        """The full ``/metrics`` page.
+
+        ``service_stats`` maps service name → ``SearchService.stats()``;
+        the serving counters the stack already keeps (queries, cache
+        hits, latency percentiles, mutation-pressure gauges, WAL
+        counters) are re-exported under ``repro_service_*`` so one scrape
+        covers the HTTP layer and the search stack beneath it.
+        """
+        lines: List[str] = []
+        with self._lock:
+            _counter(
+                lines,
+                "repro_http_requests_total",
+                "HTTP requests answered, by endpoint and status.",
+                [
+                    ({"endpoint": endpoint, "status": status}, count)
+                    for (endpoint, status), count in sorted(self.requests_total.items())
+                ],
+            )
+            _counter(
+                lines,
+                "repro_http_shed_total",
+                "Requests shed with 429 by admission control.",
+                [({}, self.shed_total)],
+            )
+            _counter(
+                lines,
+                "repro_http_draining_refused_total",
+                "Requests refused with 503 while draining.",
+                [({}, self.draining_refused_total)],
+            )
+            _counter(
+                lines,
+                "repro_http_deadline_expired_total",
+                "Requests that ran out of deadline, by stage.",
+                [
+                    ({"stage": stage}, count)
+                    for stage, count in sorted(self.deadline_expired_total.items())
+                ],
+            )
+            _gauge(
+                lines,
+                "repro_http_queue_depth",
+                "Requests currently admitted (waiting + executing).",
+                [({}, queue_depth)],
+            )
+            _gauge(
+                lines,
+                "repro_http_queue_waiting",
+                "Requests currently waiting for an execution slot.",
+                [({}, queue_waiting)],
+            )
+            _gauge(
+                lines,
+                "repro_http_draining",
+                "1 while the server is drain-stopping.",
+                [({}, int(bool(draining)))],
+            )
+            _histogram(lines, "repro_http_request_seconds", self.request_seconds)
+            _histogram(lines, "repro_http_queue_wait_seconds", self.queue_seconds)
+            _histogram(
+                lines, "repro_http_queue_depth_at_admission", self.queue_depth_observed
+            )
+        if service_stats:
+            _render_service_stats(lines, service_stats)
+        return "\n".join(lines) + "\n"
+
+
+#: ``SearchService.stats()`` scalar fields exported per service, with type
+_SERVICE_FIELDS = (
+    ("queries", "counter", "Queries served."),
+    ("batches", "counter", "Batches served."),
+    ("cache_hits", "counter", "Result-cache hits."),
+    ("query_seconds", "counter", "Total time spent answering queries."),
+    ("queries_per_second", "gauge", "Recent serving throughput."),
+    ("cache_hit_ratio", "gauge", "Cache hits over queries."),
+    ("mean_latency_ms", "gauge", "Mean per-query latency (ms)."),
+    ("p50_latency_ms", "gauge", "Median per-query latency (ms)."),
+    ("p95_latency_ms", "gauge", "95th percentile per-query latency (ms)."),
+)
+
+#: nested gauges: (stats section, field)
+_SERVICE_NESTED = (
+    ("mutation", "n_pending"),
+    ("mutation", "n_tombstones"),
+    ("mutation", "mutation_pressure"),
+    ("collection", "generation"),
+    ("collection", "last_seq"),
+    ("collection", "wal_ops"),
+    ("collection", "wal_bytes"),
+)
+
+
+def _render_service_stats(
+    lines: List[str], service_stats: Mapping[str, Mapping[str, Any]]
+) -> None:
+    for field_name, kind, help_text in _SERVICE_FIELDS:
+        samples = []
+        for service, stats in sorted(service_stats.items()):
+            value = stats.get(field_name)
+            if isinstance(value, (int, float)):
+                samples.append(({"service": service}, value))
+        if samples:
+            emit = _counter if kind == "counter" else _gauge
+            emit(lines, f"repro_service_{field_name}", help_text, samples)
+    for section, field_name in _SERVICE_NESTED:
+        samples = []
+        for service, stats in sorted(service_stats.items()):
+            value = stats.get(section, {}).get(field_name)
+            if isinstance(value, (int, float)):
+                samples.append(({"service": service}, value))
+        if samples:
+            _gauge(
+                lines,
+                f"repro_{section}_{field_name}",
+                f"{section} gauge {field_name} from SearchService.stats().",
+                samples,
+            )
+
+
+def _counter(lines, name, help_text, samples) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} counter")
+    for labels, value in samples:
+        lines.append(f"{name}{format_labels(labels)} {format_value(value)}")
+
+
+def _gauge(lines, name, help_text, samples) -> None:
+    lines.append(f"# HELP {name} {help_text}")
+    lines.append(f"# TYPE {name} gauge")
+    for labels, value in samples:
+        lines.append(f"{name}{format_labels(labels)} {format_value(value)}")
+
+
+def _histogram(lines, name, histogram: Histogram) -> None:
+    lines.append(f"# HELP {name} Histogram of {name}.")
+    lines.append(f"# TYPE {name} histogram")
+    for le, count in histogram.cumulative():
+        lines.append(f'{name}_bucket{{le="{le}"}} {count}')
+    lines.append(f"{name}_sum {format_value(histogram.sum)}")
+    lines.append(f"{name}_count {histogram.total}")

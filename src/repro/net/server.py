@@ -1,0 +1,621 @@
+"""The asyncio HTTP front-end: :class:`SearchServer`.
+
+``SearchServer`` puts a socket in front of the serving stack — a
+:class:`~repro.service.SearchService`, a whole
+:class:`~repro.service.Router`, or a durable
+:class:`~repro.store.Collection` — with the operational behaviours an
+in-process call never needed:
+
+* **admission control** — at most ``max_concurrency`` requests execute
+  (on the server's own thread pool; NumPy releases the GIL inside the
+  kernels) while up to ``queue_limit`` wait; anything beyond is shed
+  with a typed 429 + ``Retry-After`` *response*, never a dropped socket;
+* **deadlines** — ``X-Deadline-Ms`` (or the configured default) is
+  carried into the executor: expiry while queued cancels the work before
+  it starts, expiry mid-request stops it at the next micro-batch
+  boundary — 504 either way, with the stage in the error body;
+* **durable mutations** — ``/add`` / ``/remove`` / ``/extend_attributes``
+  acknowledge only after the collection's WAL fsync, exactly like the
+  in-process endpoints they wrap;
+* **graceful drain** — ``shutdown()`` stops accepting work, completes
+  everything already admitted, then stops the maintenance loop and
+  (collection-backed) checkpoints, so a restart replays nothing;
+* **observability** — ``/stats`` (JSON) and ``/metrics`` (Prometheus
+  text) expose the HTTP-layer counters and the stack's own
+  ``stats()`` gauges from one scrape.
+
+Endpoints (JSON unless noted)::
+
+    POST /query              {"vector": [...], "request": {...}}
+    POST /batch_query        {"vectors": [[...]], "request": {...}, "mode": "auto"}
+    POST /add                {"vectors": [[...]], "attributes": {col: [...]}}
+    POST /remove             {"ids": [...]}
+    POST /extend_attributes  {"rows": {col: [...]}}
+    GET  /stats              serving + admission counters
+    GET  /metrics            Prometheus text format
+    GET  /healthz            {"status": "ok" | "draining"}
+
+Multi-service deployments address a service with ``?service=<name>``;
+requests carrying a filter are implicitly routed to a filterable
+service, exactly as :meth:`Router.search_batch` does in process.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from ..service.request import BatchResult, QueryRequest
+from ..service.router import Router
+from ..service.service import SearchService
+from ..utils.exceptions import ValidationError
+from .admission import AdmissionController, Deadline
+from .errors import (
+    ApiError,
+    BadRequest,
+    Draining,
+    MethodNotAllowed,
+    NotFound,
+    api_error_from,
+)
+from .http import (
+    DEFAULT_MAX_BODY_BYTES,
+    HttpRequest,
+    HttpResponse,
+    parse_float_header,
+    read_request,
+)
+from .metrics import ServerMetrics
+
+#: header carrying the per-request deadline (milliseconds)
+DEADLINE_HEADER = "X-Deadline-Ms"
+
+#: endpoints that execute search-stack work (admission-controlled)
+WORK_ENDPOINTS = ("query", "batch_query", "add", "remove", "extend_attributes")
+#: endpoints that mutate durable state (refused first while draining)
+MUTATION_ENDPOINTS = ("add", "remove", "extend_attributes")
+
+
+@dataclass
+class ServerConfig:
+    """Tunables of one :class:`SearchServer`.
+
+    ``max_concurrency`` is both the executor width and the number of
+    admission slots; ``queue_limit`` bounds the waiting room beyond it.
+    ``default_deadline_seconds`` applies when a request sends no
+    ``X-Deadline-Ms`` header (``None`` = no implicit deadline).
+    ``chunk_rows`` is the deadline-check granularity of batch execution
+    (defaults to the service's own micro-batch size).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    max_concurrency: int = 4
+    queue_limit: int = 64
+    default_deadline_seconds: Optional[float] = 30.0
+    max_body_bytes: int = DEFAULT_MAX_BODY_BYTES
+    drain_grace_seconds: float = 30.0
+    chunk_rows: Optional[int] = None
+    checkpoint_on_drain: bool = True
+
+    def __post_init__(self) -> None:
+        if int(self.max_concurrency) < 1:
+            raise ValidationError("max_concurrency must be positive")
+        if int(self.queue_limit) < 0:
+            raise ValidationError("queue_limit must be >= 0")
+        if (
+            self.default_deadline_seconds is not None
+            and float(self.default_deadline_seconds) <= 0
+        ):
+            raise ValidationError("default_deadline_seconds must be positive or None")
+        if float(self.drain_grace_seconds) <= 0:
+            raise ValidationError("drain_grace_seconds must be positive")
+
+
+class SearchServer:
+    """Serve a search stack over HTTP/1.1 on asyncio.
+
+    Parameters
+    ----------
+    target:
+        What to serve: a :class:`SearchService`, a :class:`Router` of
+        named services, a durable :class:`~repro.store.Collection`, or a
+        built index (the latter two are wrapped in a service).
+    config:
+        A :class:`ServerConfig`; defaults are test/bench friendly.
+    maintenance:
+        An optional :class:`~repro.store.MaintenanceLoop`; started with
+        the server and stop-coordinated with drain so a checkpoint never
+        races the final shutdown checkpoint.
+    """
+
+    def __init__(
+        self,
+        target,
+        *,
+        config: Optional[ServerConfig] = None,
+        maintenance=None,
+    ) -> None:
+        self.config = config or ServerConfig()
+        if isinstance(target, Router):
+            self.router: Optional[Router] = target
+            self.service: Optional[SearchService] = None
+        elif isinstance(target, SearchService):
+            self.router = None
+            self.service = target
+        else:
+            # Collection or bare built index: wrap in a service.
+            self.router = None
+            self.service = SearchService(target)
+        self.maintenance = maintenance
+        self.admission = AdmissionController(
+            self.config.max_concurrency, self.config.queue_limit
+        )
+        self.metrics = ServerMetrics()
+        self.host = self.config.host
+        self.port: Optional[int] = None
+        self.drain_clean: Optional[bool] = None
+        self._draining = False
+        self._asyncio_server: Optional[asyncio.base_events.Server] = None
+        self._executor = ThreadPoolExecutor(
+            max_workers=self.config.max_concurrency, thread_name_prefix="net-exec"
+        )
+        self._connections: set = set()
+        self._busy: set = set()
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._thread_error: Optional[BaseException] = None
+
+    # ------------------------------------------------------------------ #
+    # lifecycle
+    # ------------------------------------------------------------------ #
+    @property
+    def url(self) -> str:
+        if self.port is None:
+            raise ValidationError("server is not started; call start()/start_in_thread()")
+        return f"http://{self.host}:{self.port}"
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    async def start(self) -> "SearchServer":
+        """Bind the listener (port 0 picks a free port)."""
+        self._loop = asyncio.get_running_loop()
+        self._asyncio_server = await asyncio.start_server(
+            self._handle_connection, host=self.config.host, port=self.config.port
+        )
+        self.port = self._asyncio_server.sockets[0].getsockname()[1]
+        if self.maintenance is not None:
+            self.maintenance.start()
+        return self
+
+    async def serve_forever(self) -> None:
+        """``start()`` (if needed) and serve until ``shutdown()``."""
+        if self._asyncio_server is None:
+            await self.start()
+        try:
+            await self._asyncio_server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+
+    async def shutdown(self) -> bool:
+        """Drain-then-stop; returns True when everything completed cleanly.
+
+        Sequence: refuse new work (503) → close the listener → wait for
+        every admitted request to finish (bounded by
+        ``drain_grace_seconds``) → stop the maintenance loop → final
+        checkpoint of collection-backed services → release the executor.
+        In-flight and already-queued requests complete normally; only
+        *new* arrivals are refused.
+        """
+        self._draining = True
+        clean = await self.admission.drain(timeout=self.config.drain_grace_seconds)
+        if self._asyncio_server is not None:
+            self._asyncio_server.close()
+            await self._asyncio_server.wait_closed()
+        # Idle keep-alive connections (no request in flight) are parked in
+        # read_request(); close them now instead of waiting out the grace
+        # period.  Busy ones finish writing their response first.
+        for task in set(self._connections) - self._busy:
+            task.cancel()
+        if self._connections:
+            done, pending = await asyncio.wait(
+                set(self._connections), timeout=self.config.drain_grace_seconds
+            )
+            for task in pending:
+                clean = False
+                task.cancel()
+        loop = asyncio.get_running_loop()
+        if self.maintenance is not None:
+            await loop.run_in_executor(None, self.maintenance.stop)
+        if self.config.checkpoint_on_drain:
+            for service in self._all_services().values():
+                if service.collection is not None:
+                    try:
+                        await loop.run_in_executor(None, service.collection.checkpoint)
+                    except Exception:
+                        # A closed/failed collection must not block drain;
+                        # its durable state is already consistent.
+                        clean = False
+        await loop.run_in_executor(None, lambda: self._executor.shutdown(wait=True))
+        self.drain_clean = clean
+        return clean
+
+    # ------------------------------------------------------------------ #
+    # background-thread hosting (sync callers: tests, benches, examples)
+    # ------------------------------------------------------------------ #
+    def start_in_thread(self, *, timeout: float = 30.0) -> "SearchServer":
+        """Run the event loop on a daemon thread; returns once bound."""
+        if self._thread is not None:
+            raise ValidationError("server is already running in a thread")
+        started = threading.Event()
+        loop = asyncio.new_event_loop()
+
+        def run() -> None:
+            asyncio.set_event_loop(loop)
+            try:
+                loop.run_until_complete(self.start())
+            except BaseException as exc:  # noqa: BLE001 - reported to starter
+                self._thread_error = exc
+                started.set()
+                return
+            started.set()
+            loop.run_forever()
+            loop.run_until_complete(loop.shutdown_asyncgens())
+            loop.close()
+
+        self._thread = threading.Thread(target=run, name="repro-net", daemon=True)
+        self._thread.start()
+        if not started.wait(timeout):
+            raise ValidationError("server did not start within the timeout")
+        if self._thread_error is not None:
+            error, self._thread_error = self._thread_error, None
+            self._thread = None
+            raise error
+        return self
+
+    def stop(self, *, timeout: float = 60.0) -> bool:
+        """Thread-safe drain-then-stop for ``start_in_thread`` servers."""
+        if self._thread is None or self._loop is None:
+            return True
+        future = asyncio.run_coroutine_threadsafe(self.shutdown(), self._loop)
+        clean = bool(future.result(timeout=timeout))
+        self._loop.call_soon_threadsafe(self._loop.stop)
+        self._thread.join(timeout=timeout)
+        self._thread = None
+        return clean
+
+    def __enter__(self) -> "SearchServer":
+        return self.start_in_thread()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------ #
+    # connection handling
+    # ------------------------------------------------------------------ #
+    async def _handle_connection(self, reader, writer) -> None:
+        task = asyncio.current_task()
+        self._connections.add(task)
+        try:
+            while True:
+                try:
+                    request = await read_request(
+                        reader, max_body_bytes=self.config.max_body_bytes
+                    )
+                except ApiError as exc:
+                    response = HttpResponse.from_error(exc)
+                    response.keep_alive = False
+                    self.metrics.observe_request("_framing", response.status)
+                    writer.write(response.encode())
+                    await writer.drain()
+                    break
+                if request is None:
+                    break
+                started = time.monotonic()
+                # busy until the response is flushed: shutdown() cancels
+                # only idle connections, never one mid-request
+                self._busy.add(task)
+                try:
+                    response = await self._dispatch(request)
+                    elapsed = time.monotonic() - started
+                    response.keep_alive = (
+                        response.keep_alive and request.keep_alive and not self._draining
+                    )
+                    self.metrics.observe_request(
+                        request.path.strip("/") or "_root",
+                        response.status,
+                        seconds=elapsed,
+                    )
+                    writer.write(response.encode())
+                    await writer.drain()
+                finally:
+                    self._busy.discard(task)
+                if not response.keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.CancelledError):
+            pass
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, BrokenPipeError):
+                pass
+
+    async def _dispatch(self, request: HttpRequest) -> HttpResponse:
+        endpoint = request.path.strip("/")
+        try:
+            if endpoint in WORK_ENDPOINTS:
+                if request.method != "POST":
+                    raise MethodNotAllowed(f"/{endpoint} takes POST")
+                return await self._handle_work(endpoint, request)
+            if endpoint == "stats":
+                if request.method != "GET":
+                    raise MethodNotAllowed("/stats takes GET")
+                return HttpResponse.json(self._stats_payload())
+            if endpoint == "metrics":
+                if request.method != "GET":
+                    raise MethodNotAllowed("/metrics takes GET")
+                return HttpResponse.text(self._render_metrics())
+            if endpoint == "healthz":
+                if request.method != "GET":
+                    raise MethodNotAllowed("/healthz takes GET")
+                return HttpResponse.json(
+                    {"status": "draining" if self._draining else "ok"}
+                )
+            raise NotFound(
+                f"unknown endpoint /{endpoint}; serving: "
+                + ", ".join(f"/{name}" for name in (*WORK_ENDPOINTS, "stats", "metrics", "healthz"))
+            )
+        except asyncio.CancelledError:
+            raise
+        except BaseException as exc:  # noqa: BLE001 - every failure becomes typed JSON
+            error = api_error_from(exc)
+            if error.code == "overloaded":
+                self.metrics.observe_shed()
+            elif error.code == "draining":
+                self.metrics.observe_draining_refusal()
+            elif error.code == "deadline_exceeded":
+                self.metrics.observe_deadline(getattr(error, "stage", "unknown"))
+            return HttpResponse.from_error(error)
+
+    # ------------------------------------------------------------------ #
+    # the admission-controlled work path
+    # ------------------------------------------------------------------ #
+    def _deadline_for(self, request: HttpRequest) -> Deadline:
+        present, value = parse_float_header(request.headers, DEADLINE_HEADER)
+        if present:
+            if value is None or value <= 0:
+                raise BadRequest(f"{DEADLINE_HEADER} must be a positive number")
+            return Deadline(value / 1000.0)
+        return Deadline(self.config.default_deadline_seconds)
+
+    async def _handle_work(self, endpoint: str, request: HttpRequest) -> HttpResponse:
+        if self._draining:
+            # Mutations (and all other new work) are refused during
+            # drain; in-flight requests admitted earlier still complete.
+            raise Draining(
+                f"server is draining; /{endpoint} is not accepting new requests",
+                retry_after=self.admission.retry_after_estimate(),
+            )
+        deadline = self._deadline_for(request)
+        body = request.json()
+        if not isinstance(body, dict):
+            raise BadRequest(f"/{endpoint} body must be a JSON object")
+        service = self._service_for(request, body)
+        job = self._build_job(endpoint, service, body, deadline)
+        depth_at_admission = self.admission.depth
+        waited_from = time.monotonic()
+        await self.admission.admit(deadline)
+        queue_seconds = time.monotonic() - waited_from
+        self.metrics.observe_admission(queue_seconds, depth_at_admission)
+        executing_from = time.monotonic()
+        try:
+            payload = await asyncio.get_running_loop().run_in_executor(
+                self._executor, job
+            )
+        finally:
+            self.admission.release(exec_seconds=time.monotonic() - executing_from)
+        return HttpResponse.json(payload)
+
+    def _all_services(self) -> Dict[str, SearchService]:
+        if self.router is not None:
+            return {name: self.router.service(name) for name in self.router.names()}
+        return {self.service.name: self.service}
+
+    def _service_for(self, request: HttpRequest, body: Dict[str, Any]) -> SearchService:
+        name = request.query.get("service")
+        if self.router is None:
+            if name is not None and name != self.service.name:
+                raise NotFound(
+                    f"no service named {name!r}; this server serves "
+                    f"{self.service.name!r}",
+                    code="unknown_service",
+                )
+            return self.service
+        if name is not None:
+            return self.router.service(name)
+        has_filter = isinstance(body.get("request"), dict) and (
+            body["request"].get("filter") is not None
+        )
+        return self.router.route(filterable=True if has_filter else None)
+
+    def _request_from(self, body: Dict[str, Any]) -> QueryRequest:
+        data = body.get("request")
+        if data is None:
+            data = {
+                key: body[key]
+                for key in (
+                    "k",
+                    "probes",
+                    "candidate_budget",
+                    "filter",
+                    "metadata",
+                    "extra",
+                )
+                if key in body
+            }
+        if not isinstance(data, dict):
+            raise BadRequest("'request' must be a JSON object (QueryRequest.as_dict form)")
+        return QueryRequest.from_dict(data)
+
+    def _build_job(
+        self,
+        endpoint: str,
+        service: SearchService,
+        body: Dict[str, Any],
+        deadline: Deadline,
+    ):
+        """A zero-argument callable executed on the thread pool.
+
+        Everything request-shaped is validated *before* admission, so a
+        malformed request never occupies a queue slot; the returned job
+        only runs index/collection work, re-checking the deadline at
+        every micro-batch boundary.
+        """
+        if endpoint == "query":
+            vector = _required_array(body, "vector", ndim=1)
+            query_request = self._request_from(body)
+
+            def job() -> Dict[str, Any]:
+                deadline.check("execution")
+                result = service.search(vector, query_request)
+                deadline.check("execution")
+                return result.as_dict()
+
+            return job
+        if endpoint == "batch_query":
+            vectors = _required_array(body, "vectors", ndim=2)
+            query_request = self._request_from(body)
+            mode = str(body.get("mode", "auto"))
+            chunk_rows = int(self.config.chunk_rows or service.batch_size)
+
+            def job() -> Dict[str, Any]:
+                deadline.check("execution")
+                if vectors.shape[0] == 0:
+                    return service.search_batch(vectors, query_request, mode=mode).as_dict()
+                parts = []
+                for start in range(0, vectors.shape[0], chunk_rows):
+                    deadline.check("execution")
+                    parts.append(
+                        service.search_batch(
+                            vectors[start : start + chunk_rows], query_request, mode=mode
+                        )
+                    )
+                deadline.check("execution")
+                return _merge_batches(parts, query_request).as_dict()
+
+            return job
+        if endpoint == "add":
+            vectors = _required_array(body, "vectors", ndim=2)
+            attributes = body.get("attributes")
+
+            def job() -> Dict[str, Any]:
+                deadline.check("execution")
+                ids = service.add(vectors, attributes=attributes)
+                return {"ids": np.asarray(ids).tolist(), "count": int(np.asarray(ids).size)}
+
+            return job
+        if endpoint == "remove":
+            ids = body.get("ids")
+            if ids is None:
+                raise BadRequest("missing field 'ids'")
+
+            def job() -> Dict[str, Any]:
+                deadline.check("execution")
+                return {"removed": int(service.remove(ids))}
+
+            return job
+        if endpoint == "extend_attributes":
+            rows = body.get("rows")
+            if not isinstance(rows, dict):
+                raise BadRequest("missing field 'rows' (column -> values mapping)")
+
+            def job() -> Dict[str, Any]:
+                deadline.check("execution")
+                service.extend_attributes(rows)
+                return {"ok": True}
+
+            return job
+        raise NotFound(f"unknown work endpoint {endpoint!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # observability endpoints
+    # ------------------------------------------------------------------ #
+    def _stats_payload(self) -> Dict[str, Any]:
+        services = {
+            name: service.stats() for name, service in self._all_services().items()
+        }
+        return {
+            "server": {
+                "draining": self._draining,
+                "max_concurrency": self.admission.max_concurrency,
+                "queue_limit": self.admission.queue_limit,
+                "queue_depth": self.admission.depth,
+                "queue_waiting": self.admission.waiting,
+                "active": self.admission.active,
+                "admitted_total": self.admission.admitted_total,
+                "shed_total": self.admission.shed_total,
+                **self.metrics.snapshot(),
+            },
+            "services": services,
+        }
+
+    def _render_metrics(self) -> str:
+        services = {
+            name: service.stats() for name, service in self._all_services().items()
+        }
+        return self.metrics.render(
+            queue_depth=self.admission.depth,
+            queue_waiting=self.admission.waiting,
+            draining=self._draining,
+            service_stats=services,
+        )
+
+    def __repr__(self) -> str:
+        target = (
+            f"router[{', '.join(self.router.names())}]"
+            if self.router is not None
+            else f"service {self.service.name!r}"
+        )
+        bound = self.url if self.port is not None else "<unbound>"
+        return f"SearchServer({target}, {bound}, {self.admission!r})"
+
+
+def _required_array(body: Dict[str, Any], field: str, *, ndim: int) -> np.ndarray:
+    value = body.get(field)
+    if value is None:
+        raise BadRequest(f"missing field {field!r}")
+    try:
+        array = np.asarray(value, dtype=np.float64)
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"field {field!r} is not numeric: {exc}") from None
+    if array.ndim != ndim:
+        raise BadRequest(
+            f"field {field!r} must be {ndim}-dimensional, got shape {array.shape}"
+        )
+    if array.size and not np.isfinite(array).all():
+        raise BadRequest(f"field {field!r} contains non-finite values")
+    return array
+
+
+def _merge_batches(parts, request: QueryRequest) -> BatchResult:
+    """Stitch per-chunk :class:`BatchResult` parts back into one."""
+    if len(parts) == 1:
+        return parts[0]
+    return BatchResult(
+        ids=np.vstack([part.ids for part in parts]),
+        distances=np.vstack([part.distances for part in parts]),
+        request=request,
+        elapsed_seconds=float(sum(part.elapsed_seconds for part in parts)),
+        mode=parts[0].mode,
+        cache_hits=int(sum(part.cache_hits for part in parts)),
+    )

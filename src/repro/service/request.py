@@ -129,6 +129,19 @@ class QueryRequest:
             object.__setattr__(self, "_filter_fingerprint_cache", cached)
         return cached
 
+    def filter_fingerprint_digest(self) -> Optional[str]:
+        """The filter fingerprint as a stable hex digest (wire/observability form).
+
+        The raw fingerprint is a nested tuple built for hashing, not for
+        JSON; the digest is what result payloads and traces carry so a
+        client can tell two cached answers' predicates apart without
+        shipping the predicate itself.
+        """
+        fingerprint = self.filter_fingerprint()
+        if fingerprint is None:
+            return None
+        return hashlib.sha256(repr(fingerprint).encode("utf-8")).hexdigest()
+
     # The dataclass-generated __eq__ would compare fields directly, which
     # is ambiguous for numpy mask/allowlist filters (and for array-valued
     # metadata); compare (and hash) the canonical cache identity plus the
@@ -232,6 +245,28 @@ class QueryResult:
     def metadata(self) -> Mapping[str, Any]:
         return self.request.metadata
 
+    def as_dict(self) -> Dict[str, Any]:
+        """Complete JSON-able form — the wire layer ships this verbatim."""
+        return {
+            "ids": np.asarray(self.ids, dtype=np.int64).tolist(),
+            "distances": np.asarray(self.distances, dtype=np.float64).tolist(),
+            "k": self.k,
+            "latency_seconds": float(self.latency_seconds),
+            "cached": bool(self.cached),
+            "request": self.request.as_dict(),
+            "filter_fingerprint": self.request.filter_fingerprint_digest(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "QueryResult":
+        return cls(
+            ids=np.asarray(data["ids"], dtype=np.int64),
+            distances=np.asarray(data["distances"], dtype=np.float64),
+            request=QueryRequest.from_dict(data.get("request", {})),
+            latency_seconds=float(data.get("latency_seconds", 0.0)),
+            cached=bool(data.get("cached", False)),
+        )
+
 
 @dataclass
 class BatchResult:
@@ -266,3 +301,44 @@ class BatchResult:
                 request=self.request,
                 latency_seconds=per_query,
             )
+
+    def as_dict(self) -> Dict[str, Any]:
+        """Complete JSON-able form — the wire layer ships this verbatim.
+
+        ``per_query_latency_seconds`` carries what :meth:`__iter__`
+        reports for each row (today the batch average), so clients
+        consuming the wire form and callers iterating in process see the
+        same per-query numbers.
+        """
+        per_query = self.elapsed_seconds / max(self.n_queries, 1)
+        return {
+            "ids": np.asarray(self.ids, dtype=np.int64).tolist(),
+            "distances": np.asarray(self.distances, dtype=np.float64).tolist(),
+            "n_queries": self.n_queries,
+            "elapsed_seconds": float(self.elapsed_seconds),
+            "per_query_latency_seconds": [per_query] * self.n_queries,
+            "queries_per_second": float(self.queries_per_second),
+            "mode": str(self.mode),
+            "cache_hits": int(self.cache_hits),
+            "recall": None if self.recall is None else float(self.recall),
+            "request": self.request.as_dict(),
+            "filter_fingerprint": self.request.filter_fingerprint_digest(),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "BatchResult":
+        request = QueryRequest.from_dict(data.get("request", {}))
+        ids = np.asarray(data["ids"], dtype=np.int64)
+        width = ids.shape[1] if ids.ndim == 2 else int(data.get("k", request.k))
+        recall = data.get("recall")
+        return cls(
+            ids=ids.reshape(-1, width) if ids.size else ids.reshape(0, width),
+            distances=np.asarray(data["distances"], dtype=np.float64).reshape(
+                ids.shape if ids.size else (0, width)
+            ),
+            request=request,
+            elapsed_seconds=float(data.get("elapsed_seconds", 0.0)),
+            mode=str(data.get("mode", "serial")),
+            cache_hits=int(data.get("cache_hits", 0)),
+            recall=None if recall is None else float(recall),
+        )

@@ -28,6 +28,7 @@ only after the operation is durably journaled.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from typing import Any, Dict, List, Optional, Tuple
@@ -109,6 +110,9 @@ class SearchService:
         self.cache = QueryCache(cache_size) if cache_size else None
         self.metrics = ServiceMetrics()
         self._pool: Optional[ThreadPoolExecutor] = None
+        # Serialises stats() assembly against cache invalidation so one
+        # snapshot never mixes pre- and post-mutation counters.
+        self._stats_lock = threading.Lock()
         self._cache_tag = self._index_cache_tag()
 
     # ------------------------------------------------------------------ #
@@ -248,13 +252,19 @@ class SearchService:
         return (None if metric is None else str(metric), int(version or 0), store_tag)
 
     def _request_cache(self) -> Optional[QueryCache]:
-        """The result cache, invalidated first if the index has mutated."""
+        """The result cache, invalidated first if the index has mutated.
+
+        Runs under the stats lock: a concurrent :meth:`stats` call sees
+        either the pre-invalidation cache or the post-invalidation one,
+        never a half-cleared in-between.
+        """
         if self.cache is None:
             return None
-        tag = self._index_cache_tag()
-        if tag != self._cache_tag:
-            self.cache.clear()
-            self._cache_tag = tag
+        with self._stats_lock:
+            tag = self._index_cache_tag()
+            if tag != self._cache_tag:
+                self.cache.clear()
+                self._cache_tag = tag
         return self.cache
 
     def _as_queries(self, queries: np.ndarray) -> np.ndarray:
@@ -528,38 +538,56 @@ class SearchService:
         gauges (and the derived ``mutation_pressure`` ratio), the cache
         hit ratio is a first-class derived field, and collection-backed
         services report their durability counters.
+
+        The whole assembly is **one consistent snapshot**: it runs under
+        the same lock the mutation-triggered cache invalidation takes,
+        and every derived field (``cache_hit_ratio``,
+        ``mutation_pressure``) is computed from counters read atomically
+        in that snapshot — a concurrent mutator can shift *when* the
+        snapshot was taken, never mix numbers from two moments into one.
         """
-        stats: Dict[str, Any] = {"service": self.name, **self.metrics.snapshot()}
-        if self.cache is not None:
-            stats["cache"] = self.cache.stats()
-        mutation: Dict[str, Any] = {}
-        for gauge in ("n_pending", "n_tombstones"):
+        with self._stats_lock:
+            stats: Dict[str, Any] = {"service": self.name, **self.metrics.snapshot()}
+            if self.cache is not None:
+                stats["cache"] = self.cache.stats()
+            mutation: Dict[str, Any] = {}
+            for gauge in ("n_pending", "n_tombstones"):
+                try:
+                    value = getattr(self.index, gauge)
+                except Exception:
+                    continue
+                if value is not None:
+                    mutation[gauge] = int(value)
+            if mutation:
+                # Derive the pressure ratio from the gauges *this*
+                # snapshot read rather than re-reading the index's own
+                # property, which a concurrent compact() could have
+                # already reset.
+                try:
+                    live = int(self.index.n_points)
+                except Exception:
+                    live = None
+                if live is not None:
+                    mutation["n_live"] = live
+                    mutation["mutation_pressure"] = (
+                        mutation.get("n_pending", 0) + mutation.get("n_tombstones", 0)
+                    ) / max(live, 1)
+                stats["mutation"] = mutation
+            if self.collection is not None:
+                stats["collection"] = {
+                    "name": self.collection.name,
+                    "path": str(self.collection.path),
+                    "generation": self.collection.generation,
+                    "last_seq": self.collection.last_seq,
+                    "wal_ops": self.collection.wal_ops,
+                    "wal_bytes": self.collection.wal_bytes,
+                    "sync": self.collection.sync,
+                }
             try:
-                value = getattr(self.index, gauge)
+                stats["index"] = self.index.stats()
             except Exception:
-                continue
-            if value is not None:
-                mutation[gauge] = int(value)
-        if mutation:
-            pressure = getattr(self.index, "mutation_pressure", None)
-            if pressure is not None:
-                mutation["mutation_pressure"] = float(pressure)
-            stats["mutation"] = mutation
-        if self.collection is not None:
-            stats["collection"] = {
-                "name": self.collection.name,
-                "path": str(self.collection.path),
-                "generation": self.collection.generation,
-                "last_seq": self.collection.last_seq,
-                "wal_ops": self.collection.wal_ops,
-                "wal_bytes": self.collection.wal_bytes,
-                "sync": self.collection.sync,
-            }
-        try:
-            stats["index"] = self.index.stats()
-        except Exception:
-            stats["index"] = {"class": type(self.index).__name__}
-        return stats
+                stats["index"] = {"class": type(self.index).__name__}
+            return stats
 
     def reset_stats(self) -> None:
         self.metrics.reset()
