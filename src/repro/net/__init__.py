@@ -17,7 +17,12 @@ socket with the behaviours production traffic needs:
   exceptions to stable 4xx/5xx JSON bodies.
 * :class:`AsyncHttpClient` / :func:`request_json` — stdlib clients used
   by the load harness (``benchmarks/bench_load.py``), tests, and
-  examples.
+  examples; an opt-in :class:`RetryPolicy` retries the typed 429/503
+  responses with capped jittered backoff, honoring ``Retry-After``.
+* Replication hosting — constructed with
+  ``replication=repro.replica.Primary(...)``, the server additionally
+  exposes ``GET /replicate`` (WAL shipping + snapshot bootstrap) for
+  cross-process read replicas.
 
 Example
 -------
@@ -30,7 +35,7 @@ Example
 """
 
 from .admission import AdmissionController, Deadline
-from .client import AsyncHttpClient, request_json
+from .client import AsyncHttpClient, RetryPolicy, request_json, retry_after_from
 from .errors import (
     ApiError,
     BadRequest,
@@ -51,7 +56,9 @@ __all__ = [
     "AdmissionController",
     "Deadline",
     "AsyncHttpClient",
+    "RetryPolicy",
     "request_json",
+    "retry_after_from",
     "ApiError",
     "BadRequest",
     "DeadlineExpired",

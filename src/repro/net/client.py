@@ -18,12 +18,83 @@ from __future__ import annotations
 
 import asyncio
 import json
+import random
 import urllib.error
 import urllib.request
+from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from ..utils.exceptions import ValidationError
 from .http import MAX_HEADER_BYTES
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Opt-in retries for the typed 429/503 responses admission control emits.
+
+    Those statuses are *data* — the server saying "not now" — so
+    retrying them is a client policy, off by default.  The delay before
+    attempt ``n`` is ``base_delay_seconds * 2**n``, capped at
+    ``max_delay_seconds``, with ``±jitter`` fractional randomisation so
+    a burst of shed clients does not come back as one synchronised
+    thundering herd.  A server-sent ``Retry-After`` (header, or the
+    ``retry_after_seconds`` field of the error body) overrides the
+    computed backoff — the server's estimate of when a slot frees is
+    better than any client-side guess — still capped and jittered.
+    """
+
+    max_retries: int = 3
+    base_delay_seconds: float = 0.05
+    max_delay_seconds: float = 5.0
+    jitter: float = 0.25
+    retry_statuses: Tuple[int, ...] = (429, 503)
+    respect_retry_after: bool = True
+    seed: Optional[int] = None
+    _rng: random.Random = field(init=False, repr=False, compare=False, default=None)
+
+    def __post_init__(self) -> None:
+        if int(self.max_retries) < 0:
+            raise ValidationError("max_retries must be >= 0")
+        if float(self.base_delay_seconds) <= 0:
+            raise ValidationError("base_delay_seconds must be positive")
+        if float(self.max_delay_seconds) < float(self.base_delay_seconds):
+            raise ValidationError("max_delay_seconds must be >= base_delay_seconds")
+        if not 0.0 <= float(self.jitter) < 1.0:
+            raise ValidationError("jitter must be in [0, 1)")
+        object.__setattr__(self, "_rng", random.Random(self.seed))
+
+    def should_retry(self, status: int, attempt: int) -> bool:
+        return int(status) in self.retry_statuses and attempt < int(self.max_retries)
+
+    def delay_seconds(
+        self, attempt: int, *, retry_after: Optional[float] = None
+    ) -> float:
+        delay = float(self.base_delay_seconds) * (2.0 ** int(attempt))
+        if (
+            self.respect_retry_after
+            and retry_after is not None
+            and float(retry_after) >= 0
+        ):
+            delay = float(retry_after)
+        delay = min(delay, float(self.max_delay_seconds))
+        if self.jitter:
+            delay *= 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return max(delay, 0.0)
+
+
+def retry_after_from(headers: Mapping[str, str], parsed: Any) -> Optional[float]:
+    """The server's retry hint: ``Retry-After`` header, else the error body."""
+    value = headers.get("retry-after")
+    if value is not None:
+        try:
+            return max(0.0, float(value))
+        except ValueError:
+            pass
+    if isinstance(parsed, dict):
+        hint = parsed.get("error", {}).get("retry_after_seconds")
+        if isinstance(hint, (int, float)):
+            return max(0.0, float(hint))
+    return None
 
 
 class AsyncHttpClient:
@@ -31,13 +102,25 @@ class AsyncHttpClient:
 
     Not safe for concurrent use from multiple tasks — a load generator
     opens one client per simulated connection, which also matches how
-    real traffic multiplexes.
+    real traffic multiplexes.  With ``retry`` set, responses matching
+    the policy's statuses (429/503 by default) are retried with capped
+    jittered backoff, honoring the server's ``Retry-After``; the final
+    response is returned either way.
     """
 
-    def __init__(self, host: str, port: int, *, timeout: float = 60.0) -> None:
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        timeout: float = 60.0,
+        retry: Optional[RetryPolicy] = None,
+    ) -> None:
         self.host = str(host)
         self.port = int(port)
         self.timeout = float(timeout)
+        self.retry = retry
+        self.retries_total = 0
         self._reader: Optional[asyncio.StreamReader] = None
         self._writer: Optional[asyncio.StreamWriter] = None
 
@@ -75,12 +158,31 @@ class AsyncHttpClient:
         ``deadline_ms`` sets the ``X-Deadline-Ms`` header.  The body is
         JSON-encoded when given; responses with a JSON content type are
         parsed, others come back as text.  A server-closed keep-alive
-        connection is re-dialled once.
+        connection is re-dialled once.  With a :class:`RetryPolicy`
+        configured, matching statuses are retried with backoff.
         """
         payload = b"" if body is None else json.dumps(body).encode("utf-8")
         all_headers: Dict[str, str] = dict(headers or {})
         if deadline_ms is not None:
             all_headers["X-Deadline-Ms"] = f"{float(deadline_ms):g}"
+        attempt = 0
+        while True:
+            status, response_headers, parsed = await self._request_once(
+                method, path, payload, all_headers
+            )
+            if self.retry is None or not self.retry.should_retry(status, attempt):
+                return status, response_headers, parsed
+            delay = self.retry.delay_seconds(
+                attempt, retry_after=retry_after_from(response_headers, parsed)
+            )
+            self.retries_total += 1
+            attempt += 1
+            if delay:
+                await asyncio.sleep(delay)
+
+    async def _request_once(
+        self, method: str, path: str, payload: bytes, all_headers: Dict[str, str]
+    ) -> Tuple[int, Dict[str, str], Any]:
         for attempt in (0, 1):
             if self._writer is None:
                 await self._connect()

@@ -18,8 +18,10 @@ import json
 from typing import Any, Dict, Optional
 
 from ..utils.exceptions import (
+    BootstrapRequired,
     ConfigurationError,
     NotFittedError,
+    ReadOnlyError,
     ReproError,
     SerializationError,
     StorageError,
@@ -173,6 +175,13 @@ def api_error_from(exc: BaseException) -> ApiError:
         return NotFound(str(exc), code="unknown_service")
     if isinstance(exc, NotFittedError):
         return ApiError(str(exc), status=409, code="not_built")
+    # Replication subtypes before their StorageError base: both are
+    # caller-resolvable states (write to the primary / re-bootstrap), not
+    # an untrustworthy store.
+    if isinstance(exc, ReadOnlyError):
+        return ApiError(str(exc), status=409, code="read_only")
+    if isinstance(exc, BootstrapRequired):
+        return ApiError(str(exc), status=409, code="bootstrap_required")
     if isinstance(exc, StorageError):
         return StorageUnavailable(str(exc))
     if isinstance(exc, SerializationError):

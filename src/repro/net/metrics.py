@@ -156,6 +156,18 @@ class ServerMetrics:
                 self.deadline_expired_total.get(stage, 0) + 1
             )
 
+    def errors_by_endpoint(self) -> Dict[str, int]:
+        """Error responses (status >= 400) summed per endpoint.
+
+        Derived from ``requests_total`` under the same lock, so the two
+        views can never disagree.  Callers must hold ``_lock``.
+        """
+        errors: Dict[str, int] = {}
+        for (endpoint, status), count in self.requests_total.items():
+            if int(status) >= 400:
+                errors[endpoint] = errors.get(endpoint, 0) + count
+        return errors
+
     def snapshot(self) -> Dict[str, Any]:
         """JSON-able counters (the ``/stats`` view of the same numbers)."""
         with self._lock:
@@ -164,6 +176,7 @@ class ServerMetrics:
                     f"{endpoint}:{status}": count
                     for (endpoint, status), count in sorted(self.requests_total.items())
                 },
+                "errors_total": dict(sorted(self.errors_by_endpoint().items())),
                 "shed_total": self.shed_total,
                 "draining_refused_total": self.draining_refused_total,
                 "deadline_expired_total": dict(self.deadline_expired_total),
@@ -184,6 +197,7 @@ class ServerMetrics:
         queue_waiting: int = 0,
         draining: bool = False,
         service_stats: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        replication: Optional[Mapping[str, Any]] = None,
     ) -> str:
         """The full ``/metrics`` page.
 
@@ -192,6 +206,9 @@ class ServerMetrics:
         hits, latency percentiles, mutation-pressure gauges, WAL
         counters) are re-exported under ``repro_service_*`` so one scrape
         covers the HTTP layer and the search stack beneath it.
+        ``replication`` is a ``Primary.stats()`` / ``Follower.stats()``
+        mapping (keyed by ``role``), rendered as ``repro_replica_*``
+        gauges.
         """
         lines: List[str] = []
         with self._lock:
@@ -202,6 +219,15 @@ class ServerMetrics:
                 [
                     ({"endpoint": endpoint, "status": status}, count)
                     for (endpoint, status), count in sorted(self.requests_total.items())
+                ],
+            )
+            _counter(
+                lines,
+                "repro_http_errors_total",
+                "HTTP error responses (status >= 400), by endpoint.",
+                [
+                    ({"endpoint": endpoint}, count)
+                    for endpoint, count in sorted(self.errors_by_endpoint().items())
                 ],
             )
             _counter(
@@ -250,6 +276,8 @@ class ServerMetrics:
             )
         if service_stats:
             _render_service_stats(lines, service_stats)
+        if replication:
+            _render_replication(lines, replication)
         return "\n".join(lines) + "\n"
 
 
@@ -303,6 +331,42 @@ def _render_service_stats(
                 f"{section} gauge {field_name} from SearchService.stats().",
                 samples,
             )
+
+
+#: replication gauges exported when the server hosts a Primary/Follower:
+#: (stats field, metric suffix, help text)
+_REPLICA_FIELDS = (
+    ("lag_seq", "lag_seq", "Sequence distance behind the primary (followers)."),
+    (
+        "last_applied_seq",
+        "last_applied_seq",
+        "Newest primary seq durably applied (followers); last_seq on primaries.",
+    ),
+    ("last_seq", "last_seq", "Newest acknowledged sequence number (primaries)."),
+    ("records_shipped", "records_shipped_total", "WAL records shipped to followers."),
+    ("records_applied", "records_applied_total", "Replicated records applied."),
+    ("bootstraps", "bootstraps_total", "Snapshot bootstrap bundles served."),
+    ("resyncs", "resyncs_total", "Snapshot re-bootstraps after falling behind."),
+)
+
+
+def _render_replication(lines: List[str], replication: Mapping[str, Any]) -> None:
+    role = str(replication.get("role", "unknown"))
+    name = str(replication.get("name", ""))
+    labels = {"name": name, "role": role} if name else {"role": role}
+    _gauge(
+        lines,
+        "repro_replica_role",
+        "Replication role of this server (1 for the labeled role).",
+        [(labels, 1)],
+    )
+    for field_name, suffix, help_text in _REPLICA_FIELDS:
+        value = replication.get(field_name)
+        if field_name == "last_applied_seq" and value is None:
+            # A primary's own log is, definitionally, fully applied.
+            value = replication.get("last_seq")
+        if isinstance(value, (int, float)):
+            _gauge(lines, f"repro_replica_{suffix}", help_text, [(labels, value)])
 
 
 def _counter(lines, name, help_text, samples) -> None:

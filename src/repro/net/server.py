@@ -133,6 +133,14 @@ class SearchServer:
         An optional :class:`~repro.store.MaintenanceLoop`; started with
         the server and stop-coordinated with drain so a checkpoint never
         races the final shutdown checkpoint.
+    replication:
+        An optional replication role for this server.  A
+        :class:`~repro.replica.Primary` turns on the ``GET /replicate``
+        endpoint (WAL shipping + snapshot bootstrap for remote
+        followers); a :class:`~repro.replica.Follower` is surfaced in
+        ``/stats`` and ``/metrics`` (lag, applied seq) without exposing
+        shipping.  Detected by duck typing — this module never imports
+        :mod:`repro.replica` (which imports the HTTP client from here).
     """
 
     def __init__(
@@ -141,12 +149,15 @@ class SearchServer:
         *,
         config: Optional[ServerConfig] = None,
         maintenance=None,
+        replication=None,
     ) -> None:
         self.config = config or ServerConfig()
         if isinstance(target, Router):
             self.router: Optional[Router] = target
             self.service: Optional[SearchService] = None
-        elif isinstance(target, SearchService):
+        elif isinstance(target, SearchService) or hasattr(target, "service_config"):
+            # A SearchService, or anything service-shaped (ReplicaGroup
+            # duck-types the whole service surface).
             self.router = None
             self.service = target
         else:
@@ -154,6 +165,9 @@ class SearchServer:
             self.router = None
             self.service = SearchService(target)
         self.maintenance = maintenance
+        self.replication = replication
+        # A Primary ships WAL records; a Follower only reports status.
+        self._ships_wal = replication is not None and hasattr(replication, "poll")
         self.admission = AdmissionController(
             self.config.max_concurrency, self.config.queue_limit
         )
@@ -371,9 +385,17 @@ class SearchServer:
                 return HttpResponse.json(
                     {"status": "draining" if self._draining else "ok"}
                 )
+            if endpoint == "replicate" and self._ships_wal:
+                if request.method != "GET":
+                    raise MethodNotAllowed("/replicate takes GET")
+                return await self._handle_replicate(request)
+            extra = ("replicate",) if self._ships_wal else ()
             raise NotFound(
                 f"unknown endpoint /{endpoint}; serving: "
-                + ", ".join(f"/{name}" for name in (*WORK_ENDPOINTS, "stats", "metrics", "healthz"))
+                + ", ".join(
+                    f"/{name}"
+                    for name in (*WORK_ENDPOINTS, "stats", "metrics", "healthz", *extra)
+                )
             )
         except asyncio.CancelledError:
             raise
@@ -548,13 +570,46 @@ class SearchServer:
         raise NotFound(f"unknown work endpoint {endpoint!r}")  # pragma: no cover
 
     # ------------------------------------------------------------------ #
+    # replication shipping (primary side)
+    # ------------------------------------------------------------------ #
+    async def _handle_replicate(self, request: HttpRequest) -> HttpResponse:
+        """Serve one follower pull; cheap reads, outside admission control.
+
+        Shipping never competes with query traffic for admission slots —
+        a saturated queue must not stall replication (that is exactly
+        when followers are most valuable) — but the WAL read still runs
+        on the executor so the event loop stays responsive.
+        """
+        loop = asyncio.get_running_loop()
+        if request.query.get("bootstrap"):
+            bundle = await loop.run_in_executor(
+                self._executor, self.replication.bootstrap_bundle
+            )
+            return HttpResponse.json({"bundle": bundle})
+        try:
+            since_seq = int(request.query.get("since_seq", "0"))
+        except ValueError:
+            raise BadRequest("since_seq must be an integer") from None
+        max_records: Optional[int] = None
+        if "max_records" in request.query:
+            try:
+                max_records = int(request.query["max_records"])
+            except ValueError:
+                raise BadRequest("max_records must be an integer") from None
+        batch = await loop.run_in_executor(
+            self._executor,
+            lambda: self.replication.poll(since_seq, max_records=max_records),
+        )
+        return HttpResponse.json(batch.as_dict())
+
+    # ------------------------------------------------------------------ #
     # observability endpoints
     # ------------------------------------------------------------------ #
     def _stats_payload(self) -> Dict[str, Any]:
         services = {
             name: service.stats() for name, service in self._all_services().items()
         }
-        return {
+        payload = {
             "server": {
                 "draining": self._draining,
                 "max_concurrency": self.admission.max_concurrency,
@@ -568,6 +623,9 @@ class SearchServer:
             },
             "services": services,
         }
+        if self.replication is not None:
+            payload["replication"] = self.replication.stats()
+        return payload
 
     def _render_metrics(self) -> str:
         services = {
@@ -578,6 +636,9 @@ class SearchServer:
             queue_waiting=self.admission.waiting,
             draining=self._draining,
             service_stats=services,
+            replication=(
+                None if self.replication is None else self.replication.stats()
+            ),
         )
 
     def __repr__(self) -> str:

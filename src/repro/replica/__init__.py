@@ -1,0 +1,56 @@
+"""Replication: WAL shipping, read replicas, and promote-on-failure.
+
+The storage layer (:mod:`repro.store`) gave every collection a
+checksummed, sequence-numbered write-ahead log; the serving layer
+(:mod:`repro.net`) put the stack behind a socket.  This package closes
+the loop into a small replicated system:
+
+* :class:`Primary` — tails a writable collection's WAL and streams
+  acknowledged records (seq-ordered, CRC-verified) to pulling followers,
+  with a snapshot :meth:`~Primary.bootstrap_bundle` for new or
+  hopelessly lagging replicas;
+* :class:`Follower` — applies the stream to a **read-only** collection
+  through the same journal-then-apply discipline the primary used, so a
+  follower directory recovers (and promotes) exactly like a primary
+  directory at the same seq; :class:`ReplicationLoop` drives it on a
+  daemon thread;
+* :class:`HttpReplicationSource` — the same pull surface over the
+  ``/replicate`` endpoint of :class:`repro.net.SearchServer`, for
+  cross-process replicas;
+* :class:`ReplicaGroup` + :class:`SessionToken` — replica-aware
+  dispatch behind one service-shaped front: reads round-robin across
+  followers (primary fallback), writes go to the primary, and a session
+  token's ``last_seen_seq`` bounds staleness — a behind follower either
+  catches up within the budget or the read redirects to the primary;
+* failover — kill the primary, :meth:`Follower.promote` the freshest
+  follower: its collection replays its own WAL to the last contiguous
+  acknowledged seq and flips writable, losing nothing it acknowledged.
+
+Example
+-------
+>>> from repro.replica import Primary, Follower, ReplicaGroup, SessionToken
+>>> primary = Primary(collection)
+>>> follower = Follower.bootstrap("/data/replica-1", primary)
+>>> group = ReplicaGroup(primary, [follower])
+>>> session = SessionToken()
+>>> group.add(vectors, session=session)        # primary, journaled
+>>> group.search(vectors[0], session=session)  # replica, never stale for us
+"""
+
+from .follower import Follower, ReplicationLoop
+from .group import ReplicaGroup, SessionToken
+from .primary import Primary
+from .transport import HttpReplicationSource
+from .wire import ShippedBatch, decode_wire_record, encode_wire_record
+
+__all__ = [
+    "Follower",
+    "HttpReplicationSource",
+    "Primary",
+    "ReplicaGroup",
+    "ReplicationLoop",
+    "SessionToken",
+    "ShippedBatch",
+    "decode_wire_record",
+    "encode_wire_record",
+]

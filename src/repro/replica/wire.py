@@ -1,0 +1,103 @@
+"""The replication wire format: WAL records as checksummed JSON frames.
+
+A shipped record is exactly the payload bytes the primary's
+:class:`~repro.store.wal.WriteAheadLog` journaled — re-encoded through
+the same codec (:func:`~repro.store.wal.encode_record_payload`), wrapped
+in base64 so it travels inside the serving layer's JSON envelopes, and
+covered by its own CRC32.  One codec and one checksum therefore span the
+whole pipeline: primary log → wire → follower log, and a record that
+survives :func:`decode_wire_record` is bit-for-bit the record the
+primary acknowledged.
+
+:class:`ShippedBatch` is the unit :meth:`Primary.poll` returns and the
+``/replicate`` endpoint serialises: an ordered run of wire records plus
+the primary's ``last_seq`` (so followers can measure lag even when the
+batch is truncated by ``max_records``) and ``base_seq`` / ``generation``
+(so they can detect an upcoming bootstrap before hitting it).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import zlib
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Mapping, Tuple
+
+import numpy as np
+
+from ..store.wal import decode_record_payload, encode_record_payload
+from ..utils.exceptions import StorageError
+
+
+def encode_wire_record(
+    record: Dict[str, Any], arrays: Mapping[str, np.ndarray]
+) -> Dict[str, Any]:
+    """One WAL record as a JSON-able ``{"crc32", "payload"}`` frame."""
+    payload = encode_record_payload(record, dict(arrays or {}))
+    return {
+        "crc32": zlib.crc32(payload) & 0xFFFFFFFF,
+        "payload": base64.b64encode(payload).decode("ascii"),
+    }
+
+
+def decode_wire_record(
+    wire: Mapping[str, Any],
+) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+    """Verify a wire frame's checksum and decode it back to ``(record, arrays)``.
+
+    Raises :class:`~repro.utils.exceptions.StorageError` on a malformed
+    frame or a checksum mismatch — a follower must never apply (let alone
+    journal) bytes that do not verify.
+    """
+    try:
+        payload = base64.b64decode(wire["payload"], validate=True)
+        crc = int(wire["crc32"])
+    except (KeyError, TypeError, ValueError, binascii.Error) as exc:
+        raise StorageError(f"malformed replication frame: {exc}") from exc
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc & 0xFFFFFFFF:
+        raise StorageError(
+            "replication frame failed its CRC32 check; refusing to apply "
+            "corrupted bytes"
+        )
+    return decode_record_payload(payload)
+
+
+@dataclass
+class ShippedBatch:
+    """One :meth:`Primary.poll` response: an ordered run of wire records.
+
+    ``last_seq`` is the primary's newest acknowledged sequence number at
+    poll time — with ``max_records`` truncation the batch may end before
+    it, and the gap is the follower's remaining lag.  ``base_seq`` and
+    ``generation`` describe the primary's current snapshot so a follower
+    can see a checkpoint moved past it.
+    """
+
+    records: List[Dict[str, Any]] = field(default_factory=list)
+    last_seq: int = 0
+    base_seq: int = 0
+    generation: int = 0
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "records": list(self.records),
+            "last_seq": int(self.last_seq),
+            "base_seq": int(self.base_seq),
+            "generation": int(self.generation),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ShippedBatch":
+        try:
+            return cls(
+                records=list(data["records"]),
+                last_seq=int(data["last_seq"]),
+                base_seq=int(data.get("base_seq", 0)),
+                generation=int(data.get("generation", 0)),
+            )
+        except (KeyError, TypeError, ValueError) as exc:
+            raise StorageError(f"malformed replication batch: {exc}") from exc

@@ -81,6 +81,25 @@ class Router:
         service = SearchService(collection, name=name, **service_kwargs)
         return self.add_service(name, service)
 
+    def add_replica_group(self, name: str, group) -> "SearchService":
+        """Serve a :class:`repro.replica.ReplicaGroup` under ``name``.
+
+        The group duck-types the whole :class:`SearchService` surface —
+        reads round-robin across its followers with bounded-staleness
+        session guarantees, writes journal through its primary — so the
+        router (and any :class:`~repro.net.SearchServer` in front of it)
+        dispatches to it exactly like a plain service.  Replica groups
+        are runtime wiring, not a persisted artifact: :meth:`save`
+        refuses them (save the primary's collection instead).
+        """
+        for attr in ("search", "search_batch", "stats", "service_config"):
+            if not hasattr(group, attr):
+                raise ValidationError(
+                    f"{type(group).__name__} does not look like a replica "
+                    f"group (missing {attr!r})"
+                )
+        return self.add_service(name, group)
+
     def remove(self, name: str) -> None:
         with self._lock:
             self._services.pop(name, None)
@@ -261,6 +280,12 @@ class Router:
             "services": {},
         }
         for name, service in services.items():
+            if not isinstance(service, SearchService):
+                raise SerializationError(
+                    f"service {name!r} ({type(service).__name__}) is runtime "
+                    "wiring, not a persistable service; save its primary "
+                    "collection instead"
+                )
             config = service.service_config()
             if service.collection is not None:
                 # A collection is already durable in its own directory;

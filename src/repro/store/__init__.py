@@ -31,6 +31,7 @@ Example
 >>> collection = Collection.open("/data/products")   # identical answers
 """
 
+from ..utils.exceptions import BootstrapRequired, ReadOnlyError
 from .collection import COLLECTION_FILE, Collection, is_collection_dir
 from .maintenance import MaintenanceLoop, mutation_pressure
 from .snapshot import (
@@ -44,8 +45,10 @@ from .snapshot import (
 from .wal import SYNC_MODES, WriteAheadLog
 
 __all__ = [
+    "BootstrapRequired",
     "COLLECTION_FILE",
     "Collection",
+    "ReadOnlyError",
     "is_collection_dir",
     "MaintenanceLoop",
     "mutation_pressure",

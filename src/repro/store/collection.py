@@ -23,18 +23,26 @@ either both sides of an upsert survive or neither does.
 
 from __future__ import annotations
 
+import base64
 import json
+import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..utils.exceptions import StorageError, ValidationError
+from ..utils.exceptions import (
+    BootstrapRequired,
+    ReadOnlyError,
+    StorageError,
+    ValidationError,
+)
 from ..utils.validation import as_float_matrix
 from .snapshot import (
     candidate_generations,
+    generation_dir,
     load_snapshot,
     set_current,
     sweep,
@@ -49,6 +57,10 @@ COLLECTION_FILE = "collection.json"
 
 #: operations the write-ahead log records
 WAL_OPS = ("add", "remove", "set_attributes")
+
+#: snapshot-bootstrap bundle format (replication; see snapshot_bundle)
+BOOTSTRAP_FORMAT = "repro-replica-bootstrap"
+BOOTSTRAP_FORMAT_VERSION = 1
 
 
 def is_collection_dir(path) -> bool:
@@ -80,6 +92,7 @@ class Collection:
         wal: WriteAheadLog,
         sync: str,
         keep_generations: int,
+        read_only: bool = False,
     ) -> None:
         self.path = Path(path)
         self.index = index
@@ -88,9 +101,13 @@ class Collection:
         self.sync = str(sync)
         self.keep_generations = int(keep_generations)
         self._last_seq = int(last_seq)
+        # The state already folded into the current snapshot generation:
+        # the live WAL holds exactly the records with seq > _wal_base_seq.
+        self._wal_base_seq = int(last_seq)
         self._wal: Optional[WriteAheadLog] = wal
         self._write_lock = threading.RLock()
         self._failed: Optional[str] = None
+        self._read_only = bool(read_only)
 
     # ------------------------------------------------------------------ #
     # lifecycle: create / open / close
@@ -160,7 +177,9 @@ class Collection:
         )
 
     @classmethod
-    def open(cls, path, *, sync: Optional[str] = None) -> "Collection":
+    def open(
+        cls, path, *, sync: Optional[str] = None, read_only: bool = False
+    ) -> "Collection":
         """Recover the collection at ``path``: snapshot + WAL tail replay.
 
         Loads the newest snapshot that still loads (the ``CURRENT``
@@ -169,6 +188,13 @@ class Collection:
         final record.  The recovered collection answers queries exactly
         as the crashed process would have for every acknowledged
         operation.
+
+        With ``read_only=True`` local mutations are refused with
+        :class:`~repro.utils.exceptions.ReadOnlyError`; only replicated
+        records (:meth:`apply_replicated`) may change the collection.
+        That is how replica followers open their copy — the mode is an
+        in-process guard, not an on-disk flag, and :meth:`promote` lifts
+        it during failover.
         """
         root = Path(path)
         manifest_file = root / COLLECTION_FILE
@@ -213,6 +239,7 @@ class Collection:
             wal=wal,
             sync=sync,
             keep_generations=int(manifest.get("keep_generations", 2)),
+            read_only=read_only,
         )
         collection._replay(wal)
         # Only now that the recovered state is live: drop generations the
@@ -246,6 +273,21 @@ class Collection:
         return self._last_seq
 
     @property
+    def wal_base_seq(self) -> int:
+        """State already folded into the current snapshot generation.
+
+        The live WAL holds exactly the records with
+        ``wal_base_seq < seq <= last_seq``; a replica asking for history
+        before this point needs a snapshot bootstrap, not log shipping.
+        """
+        return self._wal_base_seq
+
+    @property
+    def read_only(self) -> bool:
+        """Whether local mutations are refused (replica-follower mode)."""
+        return self._read_only
+
+    @property
     def wal_ops(self) -> int:
         """Operations journaled since the last checkpoint (replay length)."""
         return self._wal.n_records if self._wal is not None else 0
@@ -267,9 +309,11 @@ class Collection:
             "path": str(self.path),
             "generation": self.generation,
             "last_seq": self._last_seq,
+            "wal_base_seq": self._wal_base_seq,
             "wal_ops": self.wal_ops,
             "wal_bytes": self.wal_bytes,
             "sync": self.sync,
+            "read_only": self._read_only,
             "index": self.index.stats(),
         }
 
@@ -285,7 +329,7 @@ class Collection:
     # ------------------------------------------------------------------ #
     # mutations: journal first, apply second, acknowledge last
     # ------------------------------------------------------------------ #
-    def _check_writable(self) -> None:
+    def _check_open(self) -> None:
         if self._failed is not None:
             raise StorageError(
                 f"collection {self.name!r} is failed ({self._failed}); "
@@ -293,6 +337,15 @@ class Collection:
             )
         if self._wal is None:
             raise StorageError(f"collection {self.name!r} is closed")
+
+    def _check_writable(self) -> None:
+        self._check_open()
+        if self._read_only:
+            raise ReadOnlyError(
+                f"collection {self.name!r} is read-only (replica follower); "
+                "writes go to the primary — promote() this copy to make it "
+                "writable during failover"
+            )
 
     def add(
         self,
@@ -500,6 +553,185 @@ class Collection:
         return replayed
 
     # ------------------------------------------------------------------ #
+    # replication primitives (see repro.replica for the protocol on top)
+    # ------------------------------------------------------------------ #
+    def wal_records_since(
+        self, seq: int, *, max_records: Optional[int] = None
+    ) -> Tuple[List[Tuple[Dict[str, Any], Dict[str, np.ndarray]]], int]:
+        """Acknowledged WAL records with ``record seq > seq``, plus ``last_seq``.
+
+        The primary-side tailing read.  Runs under the writer lock so a
+        concurrent checkpoint cannot swap or delete the log mid-read,
+        and the returned batch is a consistent prefix of the stream as
+        of the returned ``last_seq``.  Raises
+        :class:`~repro.utils.exceptions.BootstrapRequired` when ``seq``
+        predates the live WAL (a checkpoint folded that history into the
+        snapshot) and :class:`StorageError` when ``seq`` is *ahead* of
+        this collection — a diverged replica, not a lagging one.
+        """
+        with self._write_lock:
+            self._check_open()
+            seq = int(seq)
+            if seq > self._last_seq:
+                raise StorageError(
+                    f"collection {self.name!r}: replica at seq {seq} is ahead "
+                    f"of this primary (last_seq {self._last_seq}); the stream "
+                    "has diverged — exactly one copy may be promoted"
+                )
+            if seq < self._wal_base_seq:
+                raise BootstrapRequired(
+                    f"collection {self.name!r}: WAL starts after seq "
+                    f"{self._wal_base_seq} (generation {self.generation} "
+                    f"snapshot); records since {seq} must come from a "
+                    "snapshot bootstrap"
+                )
+            out: List[Tuple[Dict[str, Any], Dict[str, np.ndarray]]] = []
+            for record, arrays in self._wal.iter_from(seq, truncate_torn=False):
+                out.append((record, arrays))
+                if max_records is not None and len(out) >= int(max_records):
+                    break
+            return out, self._last_seq
+
+    def apply_replicated(
+        self, record: Dict[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        """Journal-then-apply one record shipped from a primary.
+
+        The follower-side write path: the record keeps the *primary's*
+        sequence number and goes through the same discipline as a local
+        mutation — appended (fsynced) to this collection's own WAL first,
+        applied in memory second — so a follower directory is bitwise
+        recoverable exactly like a primary at the same seq, and
+        :meth:`promote` needs no new machinery.  Allowed on read-only
+        collections: replication is their one writer.  A sequence gap
+        raises :class:`StorageError` (an acknowledged write would
+        otherwise be silently lost).
+        """
+        with self._write_lock:
+            self._check_open()
+            seq = int(record.get("seq", -1))
+            if seq != self._last_seq + 1:
+                raise StorageError(
+                    f"collection {self.name!r}: replicated record has seq "
+                    f"{seq}, expected {self._last_seq + 1}; a gap in the "
+                    "stream would lose acknowledged writes"
+                )
+            op = record.get("op")
+            if op not in WAL_OPS:
+                raise StorageError(
+                    f"collection {self.name!r}: unknown replicated op {op!r} "
+                    f"(expected one of {WAL_OPS})"
+                )
+            self._append(record, dict(arrays))
+            if op == "add":
+                self._apply_add(record, np.asarray(arrays["vectors"], dtype=np.float64))
+            elif op == "remove":
+                self._apply_remove(record, np.asarray(arrays["ids"], dtype=np.int64))
+            else:
+                self._apply_set_attributes(record)
+
+    def promote(self) -> "Collection":
+        """Flip a read-only replica writable (failover); idempotent.
+
+        Recovery to the last contiguous acknowledged seq already
+        happened — either at :meth:`open` (snapshot + WAL-tail replay,
+        torn tail trimmed) or because this in-memory copy applied every
+        record it acknowledged — so promotion is just lifting the
+        read-only guard.  Callers are responsible for ensuring the old
+        primary is dead: two writable copies of one collection diverge.
+        """
+        with self._write_lock:
+            self._check_open()
+            self._read_only = False
+            return self
+
+    def snapshot_bundle(self) -> Dict[str, Any]:
+        """A JSON-able clone of the current snapshot generation.
+
+        The bootstrap payload for new or hopelessly lagging replicas:
+        the manifest fields plus every file of the ``CURRENT`` generation
+        directory, base64-encoded.  ``last_seq`` is the *snapshot's*
+        sequence number (:attr:`wal_base_seq`) — the receiver pulls
+        everything after it over the record stream.  Taken under the
+        writer lock so a checkpoint cannot delete the generation
+        mid-read.
+        """
+        with self._write_lock:
+            self._check_open()
+            gen_dir = generation_dir(self.path, self.generation)
+            files: Dict[str, str] = {}
+            for directory, _, names in os.walk(gen_dir):
+                for filename in names:
+                    file_path = Path(directory) / filename
+                    rel = file_path.relative_to(self.path).as_posix()
+                    files[rel] = base64.b64encode(file_path.read_bytes()).decode("ascii")
+            return {
+                "format": BOOTSTRAP_FORMAT,
+                "format_version": BOOTSTRAP_FORMAT_VERSION,
+                "name": self.name,
+                "generation": self.generation,
+                "last_seq": self._wal_base_seq,
+                "sync": self.sync,
+                "keep_generations": self.keep_generations,
+                "files": files,
+            }
+
+    @classmethod
+    def clone_from_bundle(
+        cls,
+        path,
+        bundle: Mapping[str, Any],
+        *,
+        sync: Optional[str] = None,
+        read_only: bool = True,
+    ) -> "Collection":
+        """Materialise a :meth:`snapshot_bundle` as a fresh collection.
+
+        Writes the generation files and a collection manifest, flips
+        ``CURRENT``, and opens the result (read-only by default — this
+        is how followers bootstrap).  Refuses to overwrite an existing
+        collection directory.
+        """
+        if bundle.get("format") != BOOTSTRAP_FORMAT:
+            raise ValidationError(
+                f"not a {BOOTSTRAP_FORMAT} bundle: format={bundle.get('format')!r}"
+            )
+        if int(bundle.get("format_version", 0)) > BOOTSTRAP_FORMAT_VERSION:
+            raise ValidationError(
+                f"bootstrap bundle format {bundle.get('format_version')} is "
+                f"newer than supported {BOOTSTRAP_FORMAT_VERSION}"
+            )
+        root = Path(path)
+        if is_collection_dir(root):
+            raise StorageError(
+                f"{root} already holds a collection; refusing to bootstrap "
+                "over it"
+            )
+        root.mkdir(parents=True, exist_ok=True)
+        for rel, encoded in bundle["files"].items():
+            parts = Path(rel).parts
+            if Path(rel).is_absolute() or ".." in parts:
+                raise ValidationError(
+                    f"bootstrap bundle path {rel!r} escapes the collection root"
+                )
+            target = root / rel
+            target.parent.mkdir(parents=True, exist_ok=True)
+            target.write_bytes(base64.b64decode(encoded))
+        manifest = {
+            "format": COLLECTION_FORMAT,
+            "format_version": COLLECTION_FORMAT_VERSION,
+            "name": str(bundle.get("name", root.name)),
+            "sync": str(bundle.get("sync", "always")),
+            "keep_generations": int(bundle.get("keep_generations", 2)),
+            "created_at": time.time(),
+        }
+        (root / COLLECTION_FILE).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True)
+        )
+        set_current(root, int(bundle["generation"]))
+        return cls.open(root, sync=sync, read_only=read_only)
+
+    # ------------------------------------------------------------------ #
     # checkpoint / compaction
     # ------------------------------------------------------------------ #
     def checkpoint(self, *, force: bool = False) -> int:
@@ -512,7 +744,10 @@ class Collection:
         is empty, unless ``force``.
         """
         with self._write_lock:
-            self._check_writable()
+            # _check_open, not _check_writable: a read-only follower may
+            # checkpoint — folding the log changes no logical content,
+            # and followers need bounded recovery exactly like primaries.
+            self._check_open()
             if self._wal.n_records == 0 and not force:
                 return self.generation
             generation = self.generation + 1
@@ -535,6 +770,7 @@ class Collection:
             set_current(self.path, generation)
             old_wal, self._wal = self._wal, new_wal
             self.generation = generation
+            self._wal_base_seq = self._last_seq
             # Post-flip cleanup is best-effort: the state is already
             # durable and consistent, so a failing fsync/unlink here must
             # not take the collection down.
@@ -553,7 +789,7 @@ class Collection:
         snapshot reaches an equivalent state.
         """
         with self._write_lock:
-            self._check_writable()
+            self._check_open()
             self.index.compact()
             return self
 

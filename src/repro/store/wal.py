@@ -234,6 +234,24 @@ class WriteAheadLog:
         if truncate_torn and offset < size:
             self._truncate_to(offset)
 
+    def iter_from(
+        self, seq: int, *, truncate_torn: bool = False
+    ) -> Iterator[Tuple[Dict[str, Any], Dict[str, np.ndarray]]]:
+        """Yield complete records whose ``seq`` field exceeds ``seq``.
+
+        The tailing primitive behind replication: a follower at sequence
+        ``seq`` pulls exactly the acknowledged records after it, in
+        append order, each one checksum-verified by the underlying
+        :meth:`replay`.  Unlike recovery, the default here is
+        ``truncate_torn=False`` — a torn tail on a *live* log may be an
+        append in progress on another handle, and a tailer must never
+        trim it; iteration simply stops at the last complete record.
+        """
+        seq = int(seq)
+        for record, arrays in self.replay(truncate_torn=truncate_torn, decode=True):
+            if int(record.get("seq", -1)) > seq:
+                yield record, arrays
+
     def _truncate_to(self, offset: int) -> None:
         self._handle.flush()
         with open(self.path, "r+b") as handle:
@@ -266,6 +284,13 @@ class WriteAheadLog:
             f"WriteAheadLog(path={str(self.path)!r}, sync={self.sync!r}, "
             f"n_records={self.n_records})"
         )
+
+
+# Public aliases: the replication wire format (repro.replica.wire) ships
+# WAL records as exactly these payload bytes, so a record is covered by
+# one codec and one checksum from the primary's log to the follower's.
+encode_record_payload = _encode_payload
+decode_record_payload = _decode_payload
 
 
 def fsync_directory(path: str | os.PathLike) -> None:

@@ -40,3 +40,23 @@ class StorageError(ReproError):
     mid-log corruption is not), replay divergence, or mutations attempted
     after a failed write left memory ahead of the durable log.
     """
+
+
+class ReadOnlyError(StorageError):
+    """A local mutation was attempted on a read-only collection.
+
+    Replica followers open their collections read-only: the only writer
+    is the replication stream (``Collection.apply_replicated``), so local
+    ``add``/``remove``/``set_attributes`` calls are refused with this
+    typed error until :meth:`Collection.promote` flips the collection
+    writable during failover.
+    """
+
+
+class BootstrapRequired(StorageError):
+    """A replica asked for WAL records the primary has already folded away.
+
+    The primary's live WAL starts after the requested sequence number
+    (a checkpoint truncated the log), so incremental shipping cannot
+    continue — the follower must re-bootstrap from a snapshot bundle.
+    """

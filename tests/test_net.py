@@ -641,3 +641,156 @@ class TestStatsConsistency:
         threads[0].join()
         threads[1].join()
         assert not failures, failures[0]
+
+
+# ---------------------------------------------------------------------- #
+# client retry policy: 429/503 with capped jittered backoff
+# ---------------------------------------------------------------------- #
+class TestRetryPolicy:
+    def test_backoff_doubles_and_caps(self):
+        from repro.net import RetryPolicy
+
+        policy = RetryPolicy(base_delay_seconds=0.1, max_delay_seconds=0.5, jitter=0.0)
+        assert policy.delay_seconds(0) == pytest.approx(0.1)
+        assert policy.delay_seconds(1) == pytest.approx(0.2)
+        assert policy.delay_seconds(2) == pytest.approx(0.4)
+        assert policy.delay_seconds(3) == pytest.approx(0.5)  # capped
+
+    def test_retry_after_overrides_backoff_but_not_the_cap(self):
+        from repro.net import RetryPolicy
+
+        policy = RetryPolicy(base_delay_seconds=0.1, max_delay_seconds=0.5, jitter=0.0)
+        assert policy.delay_seconds(0, retry_after=0.3) == pytest.approx(0.3)
+        assert policy.delay_seconds(0, retry_after=9.0) == pytest.approx(0.5)
+        deaf = RetryPolicy(
+            base_delay_seconds=0.1, max_delay_seconds=0.5, jitter=0.0,
+            respect_retry_after=False,
+        )
+        assert deaf.delay_seconds(0, retry_after=0.3) == pytest.approx(0.1)
+
+    def test_jitter_stays_within_the_fraction(self):
+        from repro.net import RetryPolicy
+
+        policy = RetryPolicy(base_delay_seconds=0.1, jitter=0.5, seed=7)
+        delays = [policy.delay_seconds(0) for _ in range(64)]
+        assert all(0.05 <= delay <= 0.15 for delay in delays)
+        assert len(set(delays)) > 1
+
+    def test_should_retry_matches_statuses_and_budget(self):
+        from repro.net import RetryPolicy
+
+        policy = RetryPolicy(max_retries=2)
+        assert policy.should_retry(429, 0) and policy.should_retry(503, 1)
+        assert not policy.should_retry(429, 2)  # budget spent
+        assert not policy.should_retry(500, 0)  # not a retryable status
+
+    def test_validation(self):
+        from repro.net import RetryPolicy
+        from repro.utils.exceptions import ValidationError
+
+        with pytest.raises(ValidationError):
+            RetryPolicy(max_retries=-1)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_delay_seconds=0.0)
+        with pytest.raises(ValidationError):
+            RetryPolicy(base_delay_seconds=1.0, max_delay_seconds=0.5)
+        with pytest.raises(ValidationError):
+            RetryPolicy(jitter=1.0)
+
+    def test_retry_after_from_header_and_error_body(self):
+        from repro.net import retry_after_from
+
+        assert retry_after_from({"retry-after": "1.5"}, None) == 1.5
+        assert retry_after_from({"retry-after": "soon"}, None) is None
+        assert retry_after_from({}, {"error": {"retry_after_seconds": 0.25}}) == 0.25
+        assert retry_after_from({}, {"error": {}}) is None
+
+    @staticmethod
+    def _canned(status_line, body, extra_headers=()):
+        payload = json.dumps(body).encode("utf-8")
+        head = [
+            status_line,
+            "Content-Type: application/json",
+            f"Content-Length: {len(payload)}",
+            *extra_headers,
+        ]
+        return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + payload
+
+    def _run_against_canned(self, responses, retry):
+        """Serve scripted responses on a raw socket; return the final reply."""
+        import asyncio
+
+        from repro.net import AsyncHttpClient
+
+        remaining = list(responses)
+        served = []
+
+        async def handler(reader, writer):
+            while remaining:
+                try:
+                    head = await reader.readuntil(b"\r\n\r\n")
+                except asyncio.IncompleteReadError:
+                    break
+                length = 0
+                for line in head.decode("latin-1").split("\r\n"):
+                    if line.lower().startswith("content-length:"):
+                        length = int(line.split(":", 1)[1])
+                if length:
+                    await reader.readexactly(length)
+                writer.write(remaining.pop(0))
+                served.append(1)
+                await writer.drain()
+            writer.close()
+
+        async def scenario():
+            server = await asyncio.start_server(handler, "127.0.0.1", 0)
+            port = server.sockets[0].getsockname()[1]
+            async with AsyncHttpClient("127.0.0.1", port, retry=retry) as client:
+                status, headers, parsed = await client.get("/query")
+                retries = client.retries_total
+            server.close()
+            await server.wait_closed()
+            return status, parsed, retries, len(served)
+
+        import asyncio as _asyncio
+
+        return _asyncio.run(scenario())
+
+    def test_client_retries_through_429_and_503_to_success(self):
+        from repro.net import RetryPolicy
+
+        responses = [
+            self._canned(
+                "HTTP/1.1 429 Too Many Requests",
+                {"error": {"code": "overloaded", "retry_after_seconds": 0.001}},
+                ("Retry-After: 0.001",),
+            ),
+            self._canned("HTTP/1.1 503 Service Unavailable", {"error": {"code": "draining"}}),
+            self._canned("HTTP/1.1 200 OK", {"ok": True}),
+        ]
+        status, parsed, retries, served = self._run_against_canned(
+            responses,
+            RetryPolicy(max_retries=3, base_delay_seconds=0.001, jitter=0.0),
+        )
+        assert (status, parsed) == (200, {"ok": True})
+        assert retries == 2 and served == 3
+
+    def test_exhausted_budget_returns_the_last_typed_response(self):
+        from repro.net import RetryPolicy
+
+        responses = [
+            self._canned("HTTP/1.1 429 Too Many Requests", {"error": {"code": "overloaded"}})
+            for _ in range(3)
+        ]
+        status, parsed, retries, served = self._run_against_canned(
+            responses, RetryPolicy(max_retries=2, base_delay_seconds=0.001, jitter=0.0)
+        )
+        assert status == 429 and parsed["error"]["code"] == "overloaded"
+        assert retries == 2 and served == 3
+
+    def test_no_policy_means_no_retries(self):
+        responses = [
+            self._canned("HTTP/1.1 429 Too Many Requests", {"error": {"code": "overloaded"}})
+        ]
+        status, parsed, retries, served = self._run_against_canned(responses, None)
+        assert status == 429 and retries == 0 and served == 1

@@ -588,3 +588,98 @@ class TestServingCollections:
         router = Router()
         service = router.add_collection("c", tmp_path / "c")
         assert service.collection is not None
+
+
+# ---------------------------------------------------------------------- #
+# read-only collections (the follower side of replication)
+# ---------------------------------------------------------------------- #
+class TestReadOnlyCollections:
+    def test_local_mutations_are_refused_with_a_typed_error(self, tmp_path):
+        from repro.store import ReadOnlyError
+
+        Collection.create(tmp_path / "c", build_index(make_base())).close()
+        collection = Collection.open(tmp_path / "c", read_only=True)
+        assert collection.read_only
+        assert collection.stats()["read_only"] is True
+        with pytest.raises(ReadOnlyError, match="read-only"):
+            collection.add(np.ones((1, DIM)))
+        with pytest.raises(ReadOnlyError, match="read-only"):
+            collection.remove([0])
+        with pytest.raises(ReadOnlyError, match="read-only"):
+            collection.set_attributes(attribute_rows(1))
+        # reads and maintenance still work: followers answer queries and
+        # checkpoint their own replicated WAL
+        ids, _ = collection.batch_query(np.ones((2, DIM)), 5)
+        assert ids.shape == (2, 5)
+        collection.checkpoint(force=True)
+        collection.close()
+
+    def test_read_only_error_maps_to_409_not_503(self):
+        from repro.net.errors import api_error_from
+        from repro.utils.exceptions import ReadOnlyError
+
+        error = api_error_from(ReadOnlyError("nope"))
+        assert (error.status, error.code) == (409, "read_only")
+
+    def test_promote_flips_writable_in_place(self, tmp_path):
+        Collection.create(tmp_path / "c", build_index(make_base())).close()
+        collection = Collection.open(tmp_path / "c", read_only=True)
+        promoted = collection.promote()
+        assert promoted is collection and not collection.read_only
+        ids = collection.add(np.ones((1, DIM)), attributes=attribute_rows(1, offset=120))
+        assert ids.size == 1
+        collection.close()
+
+
+# ---------------------------------------------------------------------- #
+# WAL partial replay: iter_from
+# ---------------------------------------------------------------------- #
+class TestWalIterFrom:
+    @staticmethod
+    def _write_wal(path, n_records: int):
+        rng = np.random.default_rng(n_records)
+        with WriteAheadLog(path) as wal:
+            for seq in range(1, n_records + 1):
+                wal.append(
+                    {"seq": seq, "op": "add", "n": 1},
+                    {"vectors": rng.normal(size=(1, 3))},
+                )
+        return WriteAheadLog(path)
+
+    @staticmethod
+    def _fold(pairs):
+        """Reduce a record stream to a comparable state: seqs + running sums."""
+        seqs, total = [], 0.0
+        for record, arrays in pairs:
+            seqs.append(record["seq"])
+            total += float(arrays["vectors"].sum())
+        return seqs, total
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        n_records=st.integers(min_value=0, max_value=12),
+        data=st.data(),
+    )
+    def test_replay_from_any_acked_seq_matches_full_replay(
+        self, tmp_path_factory, n_records, data
+    ):
+        cut = data.draw(st.integers(min_value=0, max_value=n_records))
+        path = tmp_path_factory.mktemp("iter-from") / "wal.log"
+        with self._write_wal(path, n_records) as wal:
+            full = list(wal.replay())
+            prefix = [(r, a) for r, a in full if r["seq"] <= cut]
+            resumed = list(wal.iter_from(cut))
+            # prefix + iter_from(cut) reconstructs exactly the full replay
+            prefix_seqs, prefix_sum = self._fold(prefix)
+            resumed_seqs, resumed_sum = self._fold(resumed)
+            full_seqs, full_sum = self._fold(full)
+            assert prefix_seqs + resumed_seqs == full_seqs == list(
+                range(1, n_records + 1)
+            )
+            assert prefix_sum + resumed_sum == pytest.approx(full_sum)
+
+    def test_iter_from_beyond_the_log_is_empty(self, tmp_path):
+        with self._write_wal(tmp_path / "wal.log", 3) as wal:
+            assert list(wal.iter_from(3)) == []
+            assert list(wal.iter_from(99)) == []
+            assert [r["seq"] for r, _ in wal.iter_from(0)] == [1, 2, 3]
