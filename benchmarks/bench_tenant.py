@@ -1,0 +1,363 @@
+"""Multi-tenant isolation benchmark (``repro.tenant``).
+
+Two scenarios, both in-process against one shared namespace:
+
+* **fairness** — a flooding tenant dumps a large backlog of big batches
+  at the same instant a victim tenant submits a burst of single-row
+  queries.  Served **fifo** (strict submission order — what a shared
+  queue without tenancy would do), the victim's p99 completion time is
+  the whole flood; served **drr** (the deficit-round-robin
+  :class:`~repro.tenant.FairScheduler`), the victim drains within its
+  first quantum regardless of backlog depth.  The report shows victim
+  p50/p99 under both policies plus the round count the victim needed.
+* **cache** — two tenants replay fixed working sets through per-tenant
+  result-cache partitions under one deliberately-undersized
+  :class:`~repro.tenant.CacheBudget`; one tenant holds 4x the cache
+  weight.  Weighted eviction should keep the heavy tenant's hit ratio
+  above the light tenant's while total resident bytes stay inside the
+  budget.
+
+Results land in ``benchmarks/results/bench_tenant{_smoke}.{txt,json}``
+with the shared ``{"benchmark", "smoke", "scale", "rows"}`` schema.
+``--smoke`` runs a seconds-scale variant for CI; ``--out-dir PATH``
+redirects artifacts.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+from repro.api import make_index
+from repro.eval import format_table
+from repro.service import SearchService
+from repro.tenant import CacheBudget, FairScheduler, TenantConfig, TenantGateway
+
+K = 10
+
+
+def _percentiles(samples):
+    if not samples:
+        return {"p50_ms": 0.0, "p99_ms": 0.0}
+    arr = np.asarray(samples, dtype=np.float64) * 1000.0
+    p50, p99 = np.percentile(arr, [50.0, 99.0])
+    return {"p50_ms": float(p50), "p99_ms": float(p99)}
+
+
+def _make_service(scale):
+    rng = np.random.default_rng(23)
+    base = rng.standard_normal((scale["n_base"], scale["dim"])).astype(np.float32)
+    index = make_index("sharded-bruteforce")
+    index.build(base)
+    return SearchService(index, name="ns", cache_size=0), rng
+
+
+# ---------------------------------------------------------------------- #
+# scenario 1: flooder vs victim, fifo vs deficit-round-robin
+# ---------------------------------------------------------------------- #
+def run_fairness(service, rng, scale, *, mode, repetition):
+    flooder = TenantGateway("flooder", service)
+    victim = TenantGateway("victim", service)
+    flood_block = rng.standard_normal(
+        (scale["flood_rows"], scale["dim"])
+    ).astype(np.float32)
+    victim_queries = rng.standard_normal(
+        (scale["victim_queries"], scale["dim"])
+    ).astype(np.float32)
+
+    victim_done = []
+    rounds = 0
+    start = time.perf_counter()
+    if mode == "drr":
+        scheduler = FairScheduler(
+            quantum_rows=scale["quantum_rows"], max_pending_rows=1 << 30
+        )
+        for _ in range(scale["flood_batches"]):
+            scheduler.submit(flooder, flood_block, k=K)
+        futures = [
+            scheduler.submit(victim, q[None, :], k=K) for q in victim_queries
+        ]
+        for future in futures:
+            future.add_done_callback(
+                lambda _f: victim_done.append(time.perf_counter() - start)
+            )
+        rounds_to_victim = None
+        while scheduler.pending_rows() > 0:
+            scheduler.run_round()
+            rounds += 1
+            if rounds_to_victim is None and all(f.done() for f in futures):
+                rounds_to_victim = rounds
+        stats = scheduler.stats()
+        coalesced = stats["coalesced_calls"]
+    else:  # fifo: strict submission order through one shared queue
+        for _ in range(scale["flood_batches"]):
+            flooder.search_batch(flood_block, k=K)
+        for q in victim_queries:
+            victim.search(q, k=K)
+            victim_done.append(time.perf_counter() - start)
+        rounds_to_victim = None
+        coalesced = 0
+    elapsed = time.perf_counter() - start
+    total_rows = (
+        scale["flood_batches"] * scale["flood_rows"] + scale["victim_queries"]
+    )
+    return {
+        "scenario": "fairness",
+        "mode": mode,
+        "repetition": repetition,
+        "victim_queries": scale["victim_queries"],
+        "flood_rows": scale["flood_batches"] * scale["flood_rows"],
+        "rounds_to_victim_done": rounds_to_victim,
+        "coalesced_calls": coalesced,
+        "rows_per_second": total_rows / elapsed if elapsed else 0.0,
+        "elapsed_seconds": elapsed,
+        **{f"victim_{k}": v for k, v in _percentiles(victim_done).items()},
+    }
+
+
+# ---------------------------------------------------------------------- #
+# scenario 2: weighted cache partitions under one budget
+# ---------------------------------------------------------------------- #
+def run_cache_scenario(service, rng, scale, *, repetition):
+    budget = CacheBudget(scale["cache_budget_bytes"])
+    tenants = {}
+    for name, weight in (("heavy", 4.0), ("light", 1.0)):
+        tenants[name] = TenantGateway(
+            name,
+            service,
+            TenantConfig(cache_weight=weight),
+            cache=budget.create_partition(name, weight=weight),
+            budget=budget,
+        )
+    working = {
+        name: rng.standard_normal(
+            (scale["working_set"], scale["dim"])
+        ).astype(np.float32)
+        for name in tenants
+    }
+    # Warm round fills both partitions, interleaved the way concurrent
+    # tenants would; measured rounds replay the identical working sets.
+    for round_index in range(scale["cache_rounds"]):
+        for i in range(scale["working_set"]):
+            for name, gateway in tenants.items():
+                gateway.search(working[name][i], k=K)
+    rows = []
+    for name, gateway in tenants.items():
+        replayed = (scale["cache_rounds"] - 1) * scale["working_set"]
+        hits = gateway.cache.stats()["hits"]
+        rows.append(
+            {
+                "scenario": "cache",
+                "mode": name,
+                "repetition": repetition,
+                "weight": budget.stats()["partitions"][name]["weight"],
+                "replayed_queries": replayed,
+                "cache_hits": hits,
+                "hit_ratio": hits / replayed if replayed else 0.0,
+                "partition_bytes": gateway.cache.bytes,
+                "budget_bytes": budget.total_bytes(),
+            }
+        )
+    for name in tenants:
+        budget.drop_partition(name)
+    return rows
+
+
+# ---------------------------------------------------------------------- #
+# the benchmark
+# ---------------------------------------------------------------------- #
+def run_tenant_benchmark(smoke: bool = False):
+    if smoke:
+        scale = {
+            "n_base": 2_000,
+            "dim": 16,
+            "k": K,
+            "flood_batches": 20,
+            "flood_rows": 32,
+            "victim_queries": 20,
+            "quantum_rows": 32,
+            # Entry ~288 B (k=10 ids+distances + 16-d float64 key); the
+            # budget fits ONE full 48-entry working set plus change, so
+            # weighted eviction must decide whose set stays resident.
+            "working_set": 48,
+            "cache_rounds": 4,
+            "cache_budget_bytes": 20_000,
+            "repetitions": 1,
+        }
+    else:
+        scale = {
+            "n_base": 20_000,
+            "dim": 32,
+            "k": K,
+            "flood_batches": 60,
+            "flood_rows": 64,
+            "victim_queries": 100,
+            "quantum_rows": 64,
+            # Entry ~416 B at d=32; one 256-entry set is ~107 KB.
+            "working_set": 256,
+            "cache_rounds": 5,
+            "cache_budget_bytes": 140_000,
+            "repetitions": 3,
+        }
+    service, rng = _make_service(scale)
+    rows = []
+    for repetition in range(scale["repetitions"]):
+        for mode in ("fifo", "drr"):
+            rows.append(
+                run_fairness(service, rng, scale, mode=mode, repetition=repetition)
+            )
+        rows.extend(run_cache_scenario(service, rng, scale, repetition=repetition))
+    return rows, scale
+
+
+def victim_p99(rows, mode: str) -> float:
+    samples = [
+        row["victim_p99_ms"]
+        for row in rows
+        if row["scenario"] == "fairness" and row["mode"] == mode
+    ]
+    return max(samples) if samples else 0.0
+
+
+def hit_ratio(rows, tenant: str) -> float:
+    samples = [
+        row["hit_ratio"]
+        for row in rows
+        if row["scenario"] == "cache" and row["mode"] == tenant
+    ]
+    return min(samples) if samples else 0.0
+
+
+def format_report(rows, scale) -> str:
+    header = (
+        "Multi-tenant isolation "
+        f"(n={scale['n_base']}, d={scale['dim']}, k={scale['k']}; flood "
+        f"{scale['flood_batches']}x{scale['flood_rows']} rows vs "
+        f"{scale['victim_queries']} victim queries, quantum "
+        f"{scale['quantum_rows']}; cache budget "
+        f"{scale['cache_budget_bytes']} B, working set {scale['working_set']})"
+    )
+    fairness = format_table(
+        ["mode", "rep", "victim p50 ms", "victim p99 ms", "rounds", "rows/s"],
+        [
+            [
+                row["mode"],
+                row["repetition"],
+                row["victim_p50_ms"],
+                row["victim_p99_ms"],
+                row["rounds_to_victim_done"],
+                row["rows_per_second"],
+            ]
+            for row in rows
+            if row["scenario"] == "fairness"
+        ],
+        title="victim completion latency under a flood (fifo vs deficit-round-robin)",
+        float_format="{:.2f}",
+    )
+    cache = format_table(
+        ["tenant", "rep", "weight", "hits", "hit ratio", "bytes", "budget total"],
+        [
+            [
+                row["mode"],
+                row["repetition"],
+                row["weight"],
+                row["cache_hits"],
+                row["hit_ratio"],
+                row["partition_bytes"],
+                row["budget_bytes"],
+            ]
+            for row in rows
+            if row["scenario"] == "cache"
+        ],
+        title="weighted cache partitions under one budget",
+        float_format="{:.2f}",
+    )
+    footer = (
+        f"victim p99: fifo {victim_p99(rows, 'fifo'):.2f} ms -> "
+        f"drr {victim_p99(rows, 'drr'):.2f} ms\n"
+        f"hit ratio: heavy (weight 4) {hit_ratio(rows, 'heavy'):.2f}, "
+        f"light (weight 1) {hit_ratio(rows, 'light'):.2f}"
+    )
+    return f"{header}\n\n{fairness}\n\n{cache}\n\n{footer}"
+
+
+def write_results(rows, scale, smoke: bool, out_dir=None) -> str:
+    from conftest import smoke_artifact_guard
+
+    results_dir = out_dir or os.path.join(os.path.dirname(__file__), "results")
+    os.makedirs(results_dir, exist_ok=True)
+    suffix = "_smoke" if smoke else ""
+    text_path = os.path.join(results_dir, f"bench_tenant{suffix}.txt")
+    smoke_artifact_guard(text_path, smoke=smoke)
+    with open(text_path, "w") as handle:
+        handle.write(format_report(rows, scale) + "\n")
+    payload = {
+        "benchmark": "bench_tenant",
+        "smoke": bool(smoke),
+        "scale": dict(scale),
+        "rows": rows,
+        "victim_p99_ms": {
+            "fifo": victim_p99(rows, "fifo"),
+            "drr": victim_p99(rows, "drr"),
+        },
+        "hit_ratio": {
+            "heavy": hit_ratio(rows, "heavy"),
+            "light": hit_ratio(rows, "light"),
+        },
+    }
+    json_path = os.path.join(results_dir, f"bench_tenant{suffix}.json")
+    smoke_artifact_guard(json_path, smoke=smoke)
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    return json_path
+
+
+def check_isolation(rows, scale) -> None:
+    """Acceptance: fair scheduling shields the victim; budget holds."""
+    # The victim's p99 under DRR must beat strict FIFO ordering — the
+    # whole point of per-tenant queues.  The gap is structural (quantum
+    # vs full backlog), not a timing accident, so assert it even in smoke.
+    assert victim_p99(rows, "drr") < victim_p99(rows, "fifo"), rows
+    for row in rows:
+        if row["scenario"] != "fairness" or row["mode"] != "drr":
+            continue
+        assert row["rounds_to_victim_done"] is not None, row
+        flood_rounds = row["flood_rows"] / scale["quantum_rows"]
+        assert row["rounds_to_victim_done"] < flood_rounds, row
+    # Weighted eviction: resident bytes inside budget, heavy >= light.
+    for row in rows:
+        if row["scenario"] == "cache":
+            assert row["budget_bytes"] <= scale["cache_budget_bytes"], row
+    assert hit_ratio(rows, "heavy") >= hit_ratio(rows, "light"), rows
+    assert hit_ratio(rows, "heavy") > 0.5, rows
+
+
+def test_tenant_isolation(benchmark, report):
+    from conftest import run_once
+
+    rows, scale = run_once(benchmark, run_tenant_benchmark)
+    report("bench_tenant", format_report(rows, scale))
+    write_results(rows, scale, smoke=False)
+    check_isolation(rows, scale)
+
+
+def main(argv=None) -> int:
+    from conftest import resolve_out_dir
+
+    argv = sys.argv[1:] if argv is None else argv
+    out_dir, argv = resolve_out_dir(argv)
+    smoke = "--smoke" in argv
+    rows, scale = run_tenant_benchmark(smoke=smoke)
+    print(format_report(rows, scale))
+    json_path = write_results(rows, scale, smoke, out_dir=out_dir)
+    check_isolation(rows, scale)
+    print(f"\nwritten to {json_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -62,6 +62,7 @@ _LAZY_SUBMODULES = {
     "service",
     "shard",
     "store",
+    "tenant",
 }
 
 _LAZY_ATTRS = {
@@ -100,6 +101,10 @@ _LAZY_ATTRS = {
     "ReplicaGroup": ("repro.replica", "ReplicaGroup"),
     "ReplicationLoop": ("repro.replica", "ReplicationLoop"),
     "SessionToken": ("repro.replica", "SessionToken"),
+    "TenantRegistry": ("repro.tenant", "TenantRegistry"),
+    "TenantConfig": ("repro.tenant", "TenantConfig"),
+    "TenantGateway": ("repro.tenant", "TenantGateway"),
+    "FairScheduler": ("repro.tenant", "FairScheduler"),
 }
 
 __all__ = sorted(_LAZY_SUBMODULES | set(_LAZY_ATTRS) | {"__version__"})
@@ -120,4 +125,4 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from . import ann, api, baselines, clustering, core, datasets, eval, filter, net, nn, replica, service, shard, store, utils
+    from . import ann, api, baselines, clustering, core, datasets, eval, filter, net, nn, replica, service, shard, store, tenant, utils

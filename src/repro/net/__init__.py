@@ -23,6 +23,12 @@ socket with the behaviours production traffic needs:
   ``replication=repro.replica.Primary(...)``, the server additionally
   exposes ``GET /replicate`` (WAL shipping + snapshot bootstrap) for
   cross-process read replicas.
+* Tenant hosting — constructed with a
+  :class:`repro.tenant.TenantRegistry` (as the target or ``tenants=``),
+  requests carrying the ``X-Tenant`` header are served through that
+  tenant's gateway: ACL injected, quotas charged (typed 429
+  ``quota_exceeded`` with refill-derived ``Retry-After``), per-tenant
+  ``repro_tenant_*`` series on ``/metrics``.
 
 Example
 -------
@@ -43,6 +49,7 @@ from .errors import (
     Draining,
     MethodNotAllowed,
     NotFound,
+    QuotaExceeded,
     ShedLoad,
     StorageUnavailable,
     UnfilterableIndex,
@@ -50,7 +57,7 @@ from .errors import (
 )
 from .http import HttpRequest, HttpResponse
 from .metrics import Histogram, ServerMetrics
-from .server import DEADLINE_HEADER, SearchServer, ServerConfig
+from .server import DEADLINE_HEADER, TENANT_HEADER, SearchServer, ServerConfig
 
 __all__ = [
     "AdmissionController",
@@ -65,6 +72,7 @@ __all__ = [
     "Draining",
     "MethodNotAllowed",
     "NotFound",
+    "QuotaExceeded",
     "ShedLoad",
     "StorageUnavailable",
     "UnfilterableIndex",
@@ -74,6 +82,7 @@ __all__ = [
     "Histogram",
     "ServerMetrics",
     "DEADLINE_HEADER",
+    "TENANT_HEADER",
     "SearchServer",
     "ServerConfig",
 ]

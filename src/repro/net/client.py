@@ -255,12 +255,17 @@ def request_json(
     body: Any = None,
     deadline_ms: Optional[float] = None,
     timeout: float = 60.0,
+    headers: Optional[Mapping[str, str]] = None,
 ) -> Tuple[int, Any]:
-    """Blocking ``(status, parsed_body)`` helper for scripts and examples."""
+    """Blocking ``(status, parsed_body)`` helper for scripts and examples.
+
+    ``headers`` adds/overrides request headers — e.g. ``X-Tenant`` to act
+    as a tenant on a multi-tenant server.
+    """
     data = None if body is None else json.dumps(body).encode("utf-8")
     request = urllib.request.Request(
         url, data=data, method=method.upper(),
-        headers={"Content-Type": "application/json"},
+        headers={"Content-Type": "application/json", **(headers or {})},
     )
     if deadline_ms is not None:
         request.add_header("X-Deadline-Ms", f"{float(deadline_ms):g}")

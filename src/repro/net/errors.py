@@ -21,10 +21,12 @@ from ..utils.exceptions import (
     BootstrapRequired,
     ConfigurationError,
     NotFittedError,
+    QuotaExceededError,
     ReadOnlyError,
     ReproError,
     SerializationError,
     StorageError,
+    UnknownTenantError,
     ValidationError,
 )
 
@@ -120,6 +122,29 @@ class ShedLoad(ApiError):
     code = "overloaded"
 
 
+class QuotaExceeded(ApiError):
+    """A tenant is over one of its declared quotas.
+
+    Deliberately a different 429 ``code`` than :class:`ShedLoad`: an
+    ``overloaded`` shed means the *server* is saturated and anyone may
+    retry; ``quota_exceeded`` means *this tenant* is over budget — its
+    ``Retry-After`` is derived from the token bucket's refill rate, and
+    hard quotas (vector caps) carry none because waiting will not help.
+    """
+
+    status = 429
+    code = "quota_exceeded"
+
+    def __init__(self, message: str, *, resource: str = "qps", **kwargs) -> None:
+        super().__init__(message, **kwargs)
+        self.resource = str(resource)
+
+    def body(self) -> Dict[str, Any]:
+        payload = super().body()
+        payload["error"]["resource"] = self.resource
+        return payload
+
+
 class Draining(ApiError):
     """The server is drain-stopping; new work is refused with 503."""
 
@@ -171,6 +196,14 @@ def api_error_from(exc: BaseException) -> ApiError:
         if "does not support filtered" in str(exc):
             return UnfilterableIndex(str(exc))
         return BadRequest(str(exc), code="validation")
+    if isinstance(exc, QuotaExceededError):
+        return QuotaExceeded(
+            str(exc), resource=exc.resource, retry_after=exc.retry_after_seconds
+        )
+    # Before the ConfigurationError base: a missing tenant and a missing
+    # service are both 404s but need different fixes (provision vs deploy).
+    if isinstance(exc, UnknownTenantError):
+        return NotFound(str(exc), code="unknown_tenant")
     if isinstance(exc, ConfigurationError):
         return NotFound(str(exc), code="unknown_service")
     if isinstance(exc, NotFittedError):

@@ -91,11 +91,28 @@ def format_value(value: Any) -> str:
     return repr(number)
 
 
+def escape_label_value(value: Any) -> str:
+    """A label value escaped per the text exposition format (0.0.4).
+
+    Backslash, double quote, and newline are the three characters the
+    format requires escaping inside quoted label values.  Tenant names
+    are caller-supplied, so without this a hostile name like
+    ``evil"} 1\\n`` would split a sample line and corrupt the scrape.
+    """
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def format_labels(labels: Mapping[str, Any]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{key}="{str(value)}"' for key, value in sorted(labels.items())
+        f'{key}="{escape_label_value(value)}"'
+        for key, value in sorted(labels.items())
     )
     return "{" + inner + "}"
 
@@ -198,6 +215,7 @@ class ServerMetrics:
         draining: bool = False,
         service_stats: Optional[Mapping[str, Mapping[str, Any]]] = None,
         replication: Optional[Mapping[str, Any]] = None,
+        tenant_stats: Optional[Mapping[str, Mapping[str, Any]]] = None,
     ) -> str:
         """The full ``/metrics`` page.
 
@@ -208,7 +226,10 @@ class ServerMetrics:
         covers the HTTP layer and the search stack beneath it.
         ``replication`` is a ``Primary.stats()`` / ``Follower.stats()``
         mapping (keyed by ``role``), rendered as ``repro_replica_*``
-        gauges.
+        gauges.  ``tenant_stats`` maps tenant name →
+        ``TenantGateway.stats()``, rendered as ``repro_tenant_*`` series
+        carrying a ``tenant`` label (values escaped — tenant names are
+        caller-supplied).
         """
         lines: List[str] = []
         with self._lock:
@@ -278,6 +299,8 @@ class ServerMetrics:
             _render_service_stats(lines, service_stats)
         if replication:
             _render_replication(lines, replication)
+        if tenant_stats:
+            _render_tenant_stats(lines, tenant_stats)
         return "\n".join(lines) + "\n"
 
 
@@ -367,6 +390,57 @@ def _render_replication(lines: List[str], replication: Mapping[str, Any]) -> Non
             value = replication.get("last_seq")
         if isinstance(value, (int, float)):
             _gauge(lines, f"repro_replica_{suffix}", help_text, [(labels, value)])
+
+
+#: ``TenantGateway.stats()`` scalar fields exported per tenant, with type
+_TENANT_FIELDS = (
+    ("queries", "counter", "Search calls served for this tenant."),
+    ("query_rows", "counter", "Query rows served for this tenant."),
+    ("cache_hits", "counter", "Result-cache hits for this tenant."),
+    ("write_calls", "counter", "Mutation calls served for this tenant."),
+    ("quota_denials", "counter", "Requests refused over a tenant quota."),
+    ("latency_seconds_sum", "counter", "Total serving time for this tenant."),
+    ("vectors_used", "gauge", "Vectors counted against the tenant's cap."),
+)
+
+#: nested tenant gauges: (stats section, field)
+_TENANT_NESTED = (
+    ("qps_bucket", "tokens"),
+    ("qps_bucket", "denied"),
+    ("write_bucket", "tokens"),
+    ("write_bucket", "denied"),
+    ("cache", "entries"),
+    ("cache", "cache_bytes"),
+    ("cache", "hits"),
+    ("cache", "evictions"),
+)
+
+
+def _render_tenant_stats(
+    lines: List[str], tenant_stats: Mapping[str, Mapping[str, Any]]
+) -> None:
+    for field_name, kind, help_text in _TENANT_FIELDS:
+        samples = []
+        for tenant, stats in sorted(tenant_stats.items()):
+            value = stats.get(field_name)
+            if isinstance(value, (int, float)):
+                samples.append(({"tenant": tenant}, value))
+        if samples:
+            emit = _counter if kind == "counter" else _gauge
+            emit(lines, f"repro_tenant_{field_name}", help_text, samples)
+    for section, field_name in _TENANT_NESTED:
+        samples = []
+        for tenant, stats in sorted(tenant_stats.items()):
+            value = stats.get(section, {}).get(field_name)
+            if isinstance(value, (int, float)):
+                samples.append(({"tenant": tenant}, value))
+        if samples:
+            _gauge(
+                lines,
+                f"repro_tenant_{section}_{field_name}",
+                f"Tenant {section} gauge {field_name} from TenantGateway.stats().",
+                samples,
+            )
 
 
 def _counter(lines, name, help_text, samples) -> None:

@@ -38,6 +38,16 @@ Endpoints (JSON unless noted)::
 Multi-service deployments address a service with ``?service=<name>``;
 requests carrying a filter are implicitly routed to a filterable
 service, exactly as :meth:`Router.search_batch` does in process.
+
+Multi-tenant deployments (a :class:`repro.tenant.TenantRegistry` passed
+as ``tenants=`` or as the target itself) address a tenant with the
+``X-Tenant`` header (or ``?tenant=<name>``): the request is served
+through that tenant's gateway — ACL injected, quotas charged — and
+quota violations come back as typed 429 ``quota_exceeded`` responses
+whose ``Retry-After`` derives from the tenant's token-bucket refill,
+distinct from admission control's ``overloaded`` sheds.  An unknown
+tenant is a typed 404 ``unknown_tenant``; a tenant-only server refuses
+untenanted work with 400 ``missing_tenant``.
 """
 
 from __future__ import annotations
@@ -75,6 +85,9 @@ from .metrics import ServerMetrics
 
 #: header carrying the per-request deadline (milliseconds)
 DEADLINE_HEADER = "X-Deadline-Ms"
+
+#: header naming the tenant a request acts as (multi-tenant deployments)
+TENANT_HEADER = "X-Tenant"
 
 #: endpoints that execute search-stack work (admission-controlled)
 WORK_ENDPOINTS = ("query", "batch_query", "add", "remove", "extend_attributes")
@@ -141,29 +154,53 @@ class SearchServer:
         ``/stats`` and ``/metrics`` (lag, applied seq) without exposing
         shipping.  Detected by duck typing — this module never imports
         :mod:`repro.replica` (which imports the HTTP client from here).
+    tenants:
+        An optional :class:`repro.tenant.TenantRegistry` (duck-typed,
+        like replication — this module never imports :mod:`repro.tenant`).
+        Requests carrying ``X-Tenant`` (or ``?tenant=``) are served
+        through that tenant's gateway; the registry's per-tenant
+        counters join ``/stats`` and ``/metrics``.  A registry may also
+        be passed *as the target* for a tenant-only server.
     """
 
     def __init__(
         self,
-        target,
+        target=None,
         *,
         config: Optional[ServerConfig] = None,
         maintenance=None,
         replication=None,
+        tenants=None,
     ) -> None:
         self.config = config or ServerConfig()
-        if isinstance(target, Router):
-            self.router: Optional[Router] = target
+        if target is not None and _is_tenant_registry(target):
+            if tenants is not None:
+                raise ValidationError(
+                    "pass the tenant registry either as the target or as "
+                    "tenants=, not both"
+                )
+            tenants, target = target, None
+        if target is None:
+            if tenants is None:
+                raise ValidationError(
+                    "SearchServer needs a target (service/router/collection/"
+                    "index) or a tenant registry"
+                )
+            self.router: Optional[Router] = None
             self.service: Optional[SearchService] = None
+        elif isinstance(target, Router):
+            self.router = target
+            self.service = None
         elif isinstance(target, SearchService) or hasattr(target, "service_config"):
             # A SearchService, or anything service-shaped (ReplicaGroup
-            # duck-types the whole service surface).
+            # and TenantGateway duck-type the whole service surface).
             self.router = None
             self.service = target
         else:
             # Collection or bare built index: wrap in a service.
             self.router = None
             self.service = SearchService(target)
+        self.tenants = tenants
         self.maintenance = maintenance
         self.replication = replication
         # A Primary ships WAL records; a Follower only reports status.
@@ -250,8 +287,13 @@ class SearchServer:
         if self.maintenance is not None:
             await loop.run_in_executor(None, self.maintenance.stop)
         if self.config.checkpoint_on_drain:
-            for service in self._all_services().values():
-                if service.collection is not None:
+            targets = list(self._all_services().values())
+            if self.tenants is not None:
+                targets.extend(
+                    self.tenants.namespace(name) for name in self.tenants.namespaces()
+                )
+            for service in targets:
+                if getattr(service, "collection", None) is not None:
                     try:
                         await loop.run_in_executor(None, service.collection.checkpoint)
                     except Exception:
@@ -451,9 +493,30 @@ class SearchServer:
     def _all_services(self) -> Dict[str, SearchService]:
         if self.router is not None:
             return {name: self.router.service(name) for name in self.router.names()}
-        return {self.service.name: self.service}
+        if self.service is not None:
+            return {self.service.name: self.service}
+        return {}
 
     def _service_for(self, request: HttpRequest, body: Dict[str, Any]) -> SearchService:
+        tenant = request.headers.get(TENANT_HEADER.lower()) or request.query.get(
+            "tenant"
+        )
+        if tenant is not None:
+            if self.tenants is None:
+                raise NotFound(
+                    f"this server hosts no tenants; cannot act as {tenant!r}",
+                    code="unknown_tenant",
+                )
+            return self.tenants.gateway(tenant)
+        if self.router is None and self.service is None:
+            # Tenant-only server: anonymous work has no namespace to land
+            # in, and silently picking one would bypass every quota/ACL.
+            raise BadRequest(
+                f"this server serves tenants; send the {TENANT_HEADER} "
+                "header (or ?tenant=) naming one of "
+                f"{self.tenants.tenants()}",
+                code="missing_tenant",
+            )
         name = request.query.get("service")
         if self.router is None:
             if name is not None and name != self.service.name:
@@ -625,6 +688,8 @@ class SearchServer:
         }
         if self.replication is not None:
             payload["replication"] = self.replication.stats()
+        if self.tenants is not None:
+            payload["tenants"] = self.tenants.stats()
         return payload
 
     def _render_metrics(self) -> str:
@@ -639,16 +704,33 @@ class SearchServer:
             replication=(
                 None if self.replication is None else self.replication.stats()
             ),
+            tenant_stats=(
+                None if self.tenants is None else self.tenants.stats()["tenants"]
+            ),
         )
 
     def __repr__(self) -> str:
-        target = (
-            f"router[{', '.join(self.router.names())}]"
-            if self.router is not None
-            else f"service {self.service.name!r}"
-        )
+        if self.router is not None:
+            target = f"router[{', '.join(self.router.names())}]"
+        elif self.service is not None:
+            target = f"service {self.service.name!r}"
+        else:
+            target = f"tenants[{', '.join(self.tenants.tenants())}]"
         bound = self.url if self.port is not None else "<unbound>"
         return f"SearchServer({target}, {bound}, {self.admission!r})"
+
+
+def _is_tenant_registry(target) -> bool:
+    """Duck-check for a :class:`repro.tenant.TenantRegistry`-shaped target.
+
+    A registry is *not* service-shaped (no ``search``), so it needs its
+    own detection; matching on the control-plane surface keeps this
+    module free of a :mod:`repro.tenant` import.
+    """
+    return all(
+        callable(getattr(target, attr, None))
+        for attr in ("gateway", "create_tenant", "tenants", "stats")
+    )
 
 
 def _required_array(body: Dict[str, Any], field: str, *, ndim: int) -> np.ndarray:

@@ -5,6 +5,12 @@ two requests hit the same entry only when they would provably produce the
 same answer (same vector, same ``k``, same probe setting, same extra
 knobs).  Values are ``(ids, distances)`` pairs stored as the arrays the
 index returned; hits hand back copies so callers cannot corrupt the cache.
+
+Capacity is bounded two ways: ``max_entries`` (the original knob) and an
+optional ``max_bytes`` budget metered by per-entry byte accounting — the
+result arrays' ``nbytes`` plus the key's query bytes.  The byte gauge is
+what the tenant layer's global cache budget weighs partitions by, and it
+is exposed as ``cache_bytes`` in :meth:`stats`.
 """
 
 from __future__ import annotations
@@ -20,17 +26,31 @@ from ..utils.exceptions import ValidationError
 CacheValue = Tuple[np.ndarray, np.ndarray]
 
 
+def _entry_bytes(key: tuple, ids: np.ndarray, distances: np.ndarray) -> int:
+    """Approximate resident cost of one entry (arrays + query key bytes)."""
+    cost = int(ids.nbytes) + int(distances.nbytes)
+    if key and isinstance(key[0], (bytes, bytearray)):
+        cost += len(key[0])
+    return cost
+
+
 class QueryCache:
     """Bounded LRU mapping of (query bytes, request key) -> (ids, distances)."""
 
-    def __init__(self, max_entries: int) -> None:
+    def __init__(self, max_entries: int, *, max_bytes: Optional[int] = None) -> None:
         if max_entries < 1:
             raise ValidationError("QueryCache needs max_entries >= 1")
+        if max_bytes is not None and int(max_bytes) < 1:
+            raise ValidationError("QueryCache max_bytes must be positive (or None)")
         self.max_entries = int(max_entries)
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._entries: "OrderedDict[tuple, CacheValue]" = OrderedDict()
+        self._entry_cost: dict = {}
         self._lock = threading.Lock()
+        self.bytes = 0
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     @staticmethod
     def key_for(query: np.ndarray, request_key: tuple) -> tuple:
@@ -49,15 +69,47 @@ class QueryCache:
         return ids.copy(), distances.copy()
 
     def put(self, key: tuple, ids: np.ndarray, distances: np.ndarray) -> None:
+        ids = np.array(ids, copy=True)
+        distances = np.array(distances, copy=True)
+        cost = _entry_bytes(key, ids, distances)
         with self._lock:
-            self._entries[key] = (np.array(ids, copy=True), np.array(distances, copy=True))
+            previous = self._entry_cost.pop(key, None)
+            if previous is not None:
+                self.bytes -= previous
+            self._entries[key] = (ids, distances)
+            self._entry_cost[key] = cost
+            self.bytes += cost
             self._entries.move_to_end(key)
-            while len(self._entries) > self.max_entries:
-                self._entries.popitem(last=False)
+            while len(self._entries) > self.max_entries or (
+                self.max_bytes is not None
+                and self.bytes > self.max_bytes
+                and len(self._entries) > 1
+            ):
+                self._pop_lru()
+
+    def _pop_lru(self) -> int:
+        """Drop the least-recently-used entry; returns bytes freed.
+
+        Callers must hold ``_lock``.
+        """
+        key, _ = self._entries.popitem(last=False)
+        freed = self._entry_cost.pop(key, 0)
+        self.bytes -= freed
+        self.evictions += 1
+        return freed
+
+    def evict_one(self) -> int:
+        """Evict the LRU entry (budget-driven); returns bytes freed (0 if empty)."""
+        with self._lock:
+            if not self._entries:
+                return 0
+            return self._pop_lru()
 
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._entry_cost.clear()
+            self.bytes = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -68,6 +120,9 @@ class QueryCache:
             return {
                 "entries": len(self._entries),
                 "max_entries": self.max_entries,
+                "cache_bytes": self.bytes,
+                "max_bytes": self.max_bytes,
                 "hits": self.hits,
                 "misses": self.misses,
+                "evictions": self.evictions,
             }

@@ -100,6 +100,24 @@ class Router:
                 )
         return self.add_service(name, group)
 
+    def add_tenant(self, name: str, gateway) -> "SearchService":
+        """Serve a :class:`repro.tenant.TenantGateway` under ``name``.
+
+        The gateway duck-types the service surface with tenant policy
+        (ACL injection, quotas, cache partition) already applied inside,
+        so dispatching to it is indistinguishable from a plain service.
+        Like replica groups, tenants are runtime wiring: :meth:`save`
+        refuses them — persist the underlying namespace instead and
+        re-provision tenants from their declarative configs.
+        """
+        for attr in ("search", "search_batch", "stats", "service_config"):
+            if not hasattr(gateway, attr):
+                raise ValidationError(
+                    f"{type(gateway).__name__} does not look like a tenant "
+                    f"gateway (missing {attr!r})"
+                )
+        return self.add_service(name, gateway)
+
     def remove(self, name: str) -> None:
         with self._lock:
             self._services.pop(name, None)

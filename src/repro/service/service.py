@@ -74,6 +74,11 @@ class SearchService:
         Minimum batch size before ``mode="auto"`` picks the thread pool.
     cache_size:
         LRU query-result cache capacity; ``0`` disables caching.
+    cache:
+        A pre-built :class:`QueryCache` to use instead of constructing
+        one from ``cache_size`` — the tenant layer hands services
+        byte-budgeted partitions this way.  Takes precedence over
+        ``cache_size``.
     """
 
     def __init__(
@@ -86,6 +91,7 @@ class SearchService:
         max_workers: Optional[int] = None,
         parallel_threshold: int = 512,
         cache_size: int = 0,
+        cache: Optional[QueryCache] = None,
     ) -> None:
         self.collection: Optional[Collection] = None
         if isinstance(index, Collection):
@@ -107,7 +113,9 @@ class SearchService:
         self.batch_size = int(batch_size)
         self.max_workers = int(max_workers) if max_workers else _default_workers()
         self.parallel_threshold = int(parallel_threshold)
-        self.cache = QueryCache(cache_size) if cache_size else None
+        self.cache = cache if cache is not None else (
+            QueryCache(cache_size) if cache_size else None
+        )
         self.metrics = ServiceMetrics()
         self._pool: Optional[ThreadPoolExecutor] = None
         # Serialises stats() assembly against cache invalidation so one
@@ -550,6 +558,9 @@ class SearchService:
             stats: Dict[str, Any] = {"service": self.name, **self.metrics.snapshot()}
             if self.cache is not None:
                 stats["cache"] = self.cache.stats()
+                # Byte gauge at the top level so the tenant layer's global
+                # budget (and /metrics) can meter it without digging.
+                stats["cache_bytes"] = stats["cache"]["cache_bytes"]
             mutation: Dict[str, Any] = {}
             for gauge in ("n_pending", "n_tombstones"):
                 try:

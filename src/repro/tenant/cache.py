@@ -1,0 +1,113 @@
+"""Per-tenant result-cache partitions under one global byte budget.
+
+Every tenant gateway owns a private :class:`~repro.service.cache.QueryCache`
+partition — isolation by construction, a tenant can never read another
+tenant's entries — but the partitions share one pool of memory managed
+here.  After any insert the budget reconciles: while total resident bytes
+exceed ``max_bytes``, it evicts the LRU entry of the partition with the
+highest bytes-per-weight.  Weighted eviction means a ``cache_weight=2``
+tenant sustains twice the resident bytes of a weight-1 tenant once the
+pool is contended, while an idle pool lets any single tenant use all of
+it — strictly better than static per-tenant carve-outs.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, Optional
+
+from ..service.cache import QueryCache
+from ..utils.exceptions import ValidationError
+
+
+class CacheBudget:
+    """A shared byte budget arbitrating eviction across cache partitions."""
+
+    #: Entry-count bound for partitions; the byte budget is the real limit,
+    #: this just keeps any one partition's dict from growing without bound
+    #: when entries are tiny.
+    DEFAULT_PARTITION_ENTRIES = 4096
+
+    def __init__(self, max_bytes: int) -> None:
+        if int(max_bytes) < 1:
+            raise ValidationError("CacheBudget max_bytes must be positive")
+        self.max_bytes = int(max_bytes)
+        self._partitions: Dict[str, QueryCache] = {}
+        self._weights: Dict[str, float] = {}
+        self._lock = threading.Lock()
+        self.evictions = 0
+
+    def create_partition(
+        self,
+        name: str,
+        *,
+        weight: float = 1.0,
+        max_entries: Optional[int] = None,
+    ) -> QueryCache:
+        if float(weight) <= 0:
+            raise ValidationError("CacheBudget partition weight must be positive")
+        with self._lock:
+            if name in self._partitions:
+                raise ValidationError(f"cache partition {name!r} already exists")
+            cache = QueryCache(max_entries or self.DEFAULT_PARTITION_ENTRIES)
+            self._partitions[name] = cache
+            self._weights[name] = float(weight)
+        return cache
+
+    def drop_partition(self, name: str) -> None:
+        with self._lock:
+            cache = self._partitions.pop(name, None)
+            self._weights.pop(name, None)
+        if cache is not None:
+            cache.clear()
+
+    def total_bytes(self) -> int:
+        with self._lock:
+            return sum(cache.bytes for cache in self._partitions.values())
+
+    def reconcile(self) -> int:
+        """Evict until the pool fits the budget; returns entries evicted.
+
+        Pressure lands on the partition with the highest bytes-per-weight
+        that still holds entries, so weights set steady-state shares.
+        """
+        evicted = 0
+        while True:
+            with self._lock:
+                total = sum(c.bytes for c in self._partitions.values())
+                if total <= self.max_bytes:
+                    return evicted
+                victim = max(
+                    (c for c in self._partitions.values() if len(c) > 0),
+                    key=lambda c: c.bytes / self._weights_for(c),
+                    default=None,
+                )
+            if victim is None or victim.evict_one() == 0:
+                return evicted
+            evicted += 1
+            self.evictions += 1
+
+    def _weights_for(self, cache: QueryCache) -> float:
+        # Callers hold _lock.  Linear scan is fine: tenant counts are small
+        # compared to query rates, and this only runs under byte pressure.
+        for name, partition in self._partitions.items():
+            if partition is cache:
+                return self._weights[name]
+        return 1.0
+
+    def stats(self) -> dict:
+        with self._lock:
+            partitions = {
+                name: {
+                    "weight": self._weights[name],
+                    **cache.stats(),
+                }
+                for name, cache in self._partitions.items()
+            }
+            total = sum(c.bytes for c in self._partitions.values())
+        return {
+            "max_bytes": self.max_bytes,
+            "total_bytes": total,
+            "evictions": self.evictions,
+            "partitions": partitions,
+        }

@@ -60,3 +60,39 @@ class BootstrapRequired(StorageError):
     (a checkpoint truncated the log), so incremental shipping cannot
     continue — the follower must re-bootstrap from a snapshot bundle.
     """
+
+
+class QuotaExceededError(ReproError):
+    """A tenant exceeded one of its declared quotas.
+
+    ``resource`` names the exhausted quota (``"qps"``, ``"write_ops"``,
+    ``"vectors"``, ``"queue"``); ``retry_after_seconds`` is the
+    refill-derived wait after which the operation can succeed (``None``
+    for hard quotas like vector counts, where waiting does not help).
+    The serving layer maps this to a typed 429 ``quota_exceeded`` —
+    deliberately distinct from admission control's ``overloaded`` shed,
+    so an operator can tell "this tenant is over its budget" from "the
+    server is saturated".
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        resource: str = "qps",
+        retry_after_seconds=None,
+    ) -> None:
+        super().__init__(message)
+        self.resource = str(resource)
+        self.retry_after_seconds = (
+            None if retry_after_seconds is None else float(retry_after_seconds)
+        )
+
+
+class UnknownTenantError(ConfigurationError):
+    """A request named a tenant the registry does not know.
+
+    Mapped to a typed 404 ``unknown_tenant`` on the wire — distinct from
+    ``unknown_service``, because the fix is different (provision the
+    tenant vs. deploy the service).
+    """
