@@ -94,6 +94,19 @@ def run_shard_benchmark(smoke: bool = False):
         )
         sharded.close()
 
+    # quantized rider: the same scatter-gather over int8 shards — probes
+    # reaches the children as the re-rank budget via IndexCapabilities
+    quant_request = QueryRequest(k=K, probes=40)
+    sharded_quant = ShardedIndex(
+        max(shard_counts), spec="sq8", shard_params=dict(query_block=64)
+    ).build(data.base)
+    quant_service = SearchService(sharded_quant)
+    quant_batch = quant_service.search_batch(data.queries, quant_request)
+    serve_rows.append(
+        ["sharded-sq8", max(shard_counts), round(quant_batch.queries_per_second)]
+    )
+    sharded_quant.close()
+
     # -- merge correctness at benchmark scale (sift_like vectors are
     # continuous, so exact distance ties cannot perturb the comparison) -- #
     exact = make_index("bruteforce").build(data.base)

@@ -58,6 +58,7 @@ _LAZY_SUBMODULES = {
     "eval",
     "filter",
     "net",
+    "quant",
     "replica",
     "service",
     "shard",
@@ -96,6 +97,9 @@ _LAZY_ATTRS = {
     "Router": ("repro.service", "Router"),
     "SearchServer": ("repro.net", "SearchServer"),
     "ServerConfig": ("repro.net", "ServerConfig"),
+    "Sq8Index": ("repro.quant", "Sq8Index"),
+    "PqAdcIndex": ("repro.quant", "PqAdcIndex"),
+    "VectorStore": ("repro.quant", "VectorStore"),
     "Primary": ("repro.replica", "Primary"),
     "Follower": ("repro.replica", "Follower"),
     "ReplicaGroup": ("repro.replica", "ReplicaGroup"),
@@ -125,4 +129,4 @@ def __dir__():
 
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from . import ann, api, baselines, clustering, core, datasets, eval, filter, net, nn, replica, service, shard, store, tenant, utils
+    from . import ann, api, baselines, clustering, core, datasets, eval, filter, net, nn, quant, replica, service, shard, store, tenant, utils

@@ -124,19 +124,30 @@ class ProductQuantizer:
 
         Shape ``(n_subspaces, n_codewords)``; the approximate squared
         distance to an encoded point is the sum over subspaces of the table
-        entries selected by its codes.
+        entries selected by its codes.  Delegates to the batched
+        :meth:`distance_tables`, so the two are identical by construction.
+        """
+        query = np.asarray(query, dtype=np.float64).reshape(-1)
+        return self.distance_tables(query[None, :])[0]
+
+    def distance_tables(self, queries: np.ndarray) -> np.ndarray:
+        """Batched ADC lookup tables, one per query row.
+
+        Shape ``(n_queries, n_subspaces, n_codewords)``.  One reshape
+        replaces the per-query python loop that re-sliced every subspace:
+        queries become a ``(q, n_subspaces, 1, sub_dim)`` view and a
+        single einsum contracts the query-to-codeword differences over
+        the sub-dimension — the whole batch in one vectorised pass.
         """
         self._require_fitted()
-        query = np.asarray(query, dtype=np.float64).reshape(-1)
-        if query.shape[0] != self.n_subspaces * self._sub_dim:
+        queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+        if queries.shape[1] != self.n_subspaces * self._sub_dim:
             raise ValidationError("query dimensionality does not match the codec")
-        table = np.empty((self.n_subspaces, self.codebooks.shape[1]), dtype=np.float64)
-        for s in range(self.n_subspaces):
-            start = s * self._sub_dim
-            sub_query = query[start : start + self._sub_dim]
-            diff = self.codebooks[s] - sub_query
-            table[s] = np.einsum("ij,ij->i", diff, diff)
-        return table
+        sub_queries = queries.reshape(
+            queries.shape[0], self.n_subspaces, 1, self._sub_dim
+        )
+        diff = self.codebooks[None, :, :, :] - sub_queries
+        return np.einsum("qmks,qmks->qmk", diff, diff)
 
     def adc_distances(self, query: np.ndarray, codes: np.ndarray) -> np.ndarray:
         """Approximate squared distances from ``query`` to encoded points."""

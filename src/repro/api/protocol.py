@@ -70,6 +70,15 @@ class IndexCapabilities:
         :class:`repro.filter.Predicate` (against the attribute store
         attached with ``set_attributes``), a boolean mask, or an id
         allowlist — and return only ids satisfying it.
+    quantized:
+        True when the scan stage reads compressed codes instead of raw
+        vectors (the :mod:`repro.quant` backends); such indexes expose a
+        ``rerank`` query keyword as their accuracy/cost knob.
+    rerank:
+        True when approximate scan results are exactly re-ranked against
+        full-precision vectors before being returned — the returned
+        distances are exact under the index's metric even though the
+        candidate selection is approximate.
     """
 
     metrics: Tuple[str, ...] = ("euclidean",)
@@ -81,6 +90,8 @@ class IndexCapabilities:
     shardable: bool = False
     mutable: bool = False
     filterable: bool = False
+    quantized: bool = False
+    rerank: bool = False
 
     def supports_metric(self, metric: str) -> bool:
         return metric in self.metrics

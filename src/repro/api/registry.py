@@ -48,6 +48,9 @@ _BUILTIN_MODULES: Dict[str, str] = {
     "sharded-bruteforce": "repro.shard.sharded",
     "sharded-kmeans": "repro.shard.sharded",
     "sharded-ivf": "repro.shard.sharded",
+    "sq8": "repro.quant.sq8",
+    "pq-adc": "repro.quant.adc",
+    "sharded-sq8": "repro.shard.sharded",
 }
 
 

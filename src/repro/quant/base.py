@@ -1,0 +1,375 @@
+"""Shared two-stage (quantized scan → exact re-rank) index machinery.
+
+Every quantized backend follows the same online shape:
+
+1. **scan** — score *all* rows against each query using only the
+   compressed codes (subclass hook :meth:`_scores`); the raw vectors are
+   never touched;
+2. **over-fetch** — keep the best ``rerank`` candidates per query
+   (default ``rerank_factor * k``, the recall/cost knob surfaced as the
+   registry's ``probe_parameter``);
+3. **re-rank** — compute exact distances for just those candidates
+   against the stored full-precision vectors and return the top ``k``.
+
+The re-rank source is either the resident ``float32`` copy kept from
+``build`` or, after ``save``/``load``, a read-only memmap over the saved
+:class:`~repro.quant.VectorStore` — fetching ``rerank`` rows per query
+faults in only their pages, so a loaded index serves collections whose
+full-precision footprint exceeds resident memory.
+
+Filtering is **inline over code rows**: a resolved boolean mask sets the
+scores of disallowed rows to ``+inf`` before candidate selection, so
+they can never reach the re-rank; when the surviving subset fits inside
+the re-rank budget entirely, the scan is skipped and the subset is
+re-ranked exactly — brute-force-over-subset by construction.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+import numpy as np
+
+from ..api.protocol import RegisteredIndex
+from ..core.base import rerank_candidates
+from ..utils.distances import iter_blocks
+from ..utils.exceptions import (
+    ConfigurationError,
+    NotFittedError,
+    SerializationError,
+    ValidationError,
+)
+from ..utils.validation import as_float_matrix, as_query_matrix, check_positive_int
+from .memmap_store import VectorStore
+
+#: sub-directory (next to ``index.json``) holding the re-rank vectors
+VECTORS_DIR = "vectors"
+
+#: queries per scan block (bounds the (block, n) score matrix)
+DEFAULT_QUERY_BLOCK = 32
+
+
+def _normalize_rows(matrix: np.ndarray) -> np.ndarray:
+    """L2-normalise rows (zero rows pass through unscaled)."""
+    norms = np.linalg.norm(matrix, axis=1, keepdims=True)
+    return matrix / np.where(norms == 0.0, 1.0, norms)
+
+
+class QuantizedIndexBase(RegisteredIndex):
+    """Base class for code-scanning backends with an exact re-rank stage.
+
+    Subclasses implement four hooks:
+
+    * :meth:`_fit_codec` — train the codec and encode the (metric-adjusted)
+      base matrix into compressed codes;
+    * :meth:`_scores` — approximate scores of every row for a query
+      block, monotone in distance (smaller = closer), computed from the
+      codes alone;
+    * :meth:`_codec_state` / :meth:`_restore_codec` — persistence of the
+      codec arrays (the re-rank vectors are handled here, through the
+      :class:`VectorStore`).
+    """
+
+    def __init__(
+        self,
+        *,
+        metric: str = "euclidean",
+        rerank_factor: int = 4,
+        query_block: int = DEFAULT_QUERY_BLOCK,
+    ) -> None:
+        if metric not in type(self).capabilities.metrics:
+            raise ConfigurationError(
+                f"{type(self).__name__} does not support metric {metric!r} "
+                f"(supported: {type(self).capabilities.metrics})"
+            )
+        self.metric = str(metric)
+        self.rerank_factor = check_positive_int(rerank_factor, "rerank_factor")
+        self.query_block = check_positive_int(query_block, "query_block")
+        self._vectors: Optional[np.ndarray] = None
+        self._store: Optional[VectorStore] = None
+        self._dim: Optional[int] = None
+        self._n_points: Optional[int] = None
+
+    # ------------------------------------------------------------------ #
+    # subclass hooks
+    # ------------------------------------------------------------------ #
+    def _fit_codec(self, encoded_base: np.ndarray) -> None:  # pragma: no cover
+        raise NotImplementedError
+
+    def _scores(self, queries: np.ndarray) -> np.ndarray:  # pragma: no cover
+        raise NotImplementedError
+
+    def _codec_state(self) -> Tuple[Dict[str, Any], Dict[str, np.ndarray]]:
+        raise NotImplementedError  # pragma: no cover
+
+    def _restore_codec(
+        self, config: Mapping[str, Any], arrays: Mapping[str, np.ndarray]
+    ) -> None:
+        raise NotImplementedError  # pragma: no cover
+
+    # ------------------------------------------------------------------ #
+    # offline phase
+    # ------------------------------------------------------------------ #
+    def build(self, base: np.ndarray) -> "QuantizedIndexBase":
+        """Encode ``base`` into codes and keep a ``float32`` re-rank copy."""
+        base = as_float_matrix(base, name="base")
+        self._dim = int(base.shape[1])
+        self._n_points = int(base.shape[0])
+        # float32 is the stored precision: the memmapped VectorStore holds
+        # exactly these values, so resident and loaded indexes re-rank
+        # bitwise-identically.
+        self._vectors = np.ascontiguousarray(base, dtype=np.float32)
+        self._store = None
+        self._fit_codec(self._encode_input(base))
+        return self
+
+    def _encode_input(self, base: np.ndarray) -> np.ndarray:
+        """The matrix the codec trains on: normalised rows under cosine.
+
+        Euclidean distance on L2-normalised vectors ranks exactly like
+        cosine distance, so the cosine scan quantizes the normalised base
+        and the exact re-rank applies the true cosine metric to the raw
+        stored vectors.
+        """
+        if self.metric == "cosine":
+            return _normalize_rows(base)
+        return base
+
+    def _encode_queries(self, queries: np.ndarray) -> np.ndarray:
+        if self.metric == "cosine":
+            return _normalize_rows(queries)
+        return queries
+
+    # ------------------------------------------------------------------ #
+    # protocol properties
+    # ------------------------------------------------------------------ #
+    @property
+    def is_built(self) -> bool:
+        return self._n_points is not None
+
+    def _require_built(self) -> None:
+        if self._n_points is None:
+            raise NotFittedError(f"{type(self).__name__} has not been built yet")
+
+    @property
+    def n_points(self) -> int:
+        self._require_built()
+        return int(self._n_points)
+
+    @property
+    def dim(self) -> int:
+        self._require_built()
+        return int(self._dim)
+
+    @property
+    def vector_store(self) -> Optional[VectorStore]:
+        """The memmapped re-rank store (``None`` while vectors are resident)."""
+        return self._store
+
+    def resident_bytes(self) -> int:
+        """Bytes of numpy state held in RAM by the serving path.
+
+        Memory-mapped arrays (the re-rank vectors of a loaded index)
+        count zero: their pages are file-backed and evictable, which is
+        the whole point of the two-stage design.
+        """
+        total = 0
+        for value in self.__dict__.values():
+            if isinstance(value, np.memmap):
+                continue
+            if isinstance(value, np.ndarray):
+                total += int(value.nbytes)
+            elif isinstance(value, (list, tuple)):
+                for item in value:
+                    if isinstance(item, np.ndarray) and not isinstance(item, np.memmap):
+                        total += int(item.nbytes)
+        total += self._codec_resident_bytes()
+        return total
+
+    def _codec_resident_bytes(self) -> int:
+        """Resident bytes held behind codec objects (subclass hook)."""
+        return 0
+
+    # ------------------------------------------------------------------ #
+    # two-stage online phase
+    # ------------------------------------------------------------------ #
+    def _rerank_budget(self, k: int, rerank: Optional[int]) -> int:
+        """Resolve the over-fetch knob: at least ``k``, at most ``n``."""
+        if rerank is None:
+            budget = self.rerank_factor * k
+        else:
+            budget = check_positive_int(rerank, "rerank")
+        return int(min(max(budget, k), self.n_points))
+
+    def batch_query(
+        self,
+        queries: np.ndarray,
+        k: int = 10,
+        *,
+        rerank: Optional[int] = None,
+        filter=None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Quantized scan, over-fetch, exact re-rank.
+
+        ``rerank`` is the over-fetch budget (stage-1 survivors per
+        query); it defaults to ``rerank_factor * k`` and is clamped to
+        ``[k, n_points]``.  Returned distances are always *exact*
+        full-precision distances under ``self.metric`` — approximation
+        only affects which candidates survive the scan.
+
+        ``filter=`` (predicate / boolean mask / id allowlist) is applied
+        inline over the code rows: disallowed rows are scored ``+inf``
+        before candidate selection.  When the allowed subset fits inside
+        the budget the scan is skipped entirely and the subset is
+        re-ranked exactly.
+        """
+        self._require_built()
+        queries = as_query_matrix(np.atleast_2d(queries), self.dim)
+        k = min(check_positive_int(k, "k"), self.n_points)
+        budget = self._rerank_budget(k, rerank)
+        n_queries = queries.shape[0]
+        mask = None
+        if filter is not None:
+            from ..filter.planner import filter_row_count, resolve_filter
+
+            mask = resolve_filter(filter, self, filter_row_count(self))
+        if mask is not None:
+            allowed = np.flatnonzero(mask)
+            if allowed.size == 0:
+                return (
+                    np.full((n_queries, k), -1, dtype=np.int64),
+                    np.full((n_queries, k), np.inf),
+                )
+            if allowed.size <= budget:
+                # The whole surviving subset fits in the re-rank budget:
+                # skip stage 1 — exact brute force over the subset.
+                return rerank_candidates(
+                    self._vectors,
+                    queries,
+                    [allowed] * n_queries,
+                    k,
+                    metric=self.metric,
+                )
+        candidates = self._scan(queries, budget, mask)
+        return rerank_candidates(
+            self._vectors, queries, list(candidates), k, metric=self.metric
+        )
+
+    def query(
+        self,
+        query: np.ndarray,
+        k: int = 10,
+        *,
+        rerank: Optional[int] = None,
+        filter=None,
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        indices, distances = self.batch_query(
+            np.atleast_2d(query), k, rerank=rerank, filter=filter
+        )
+        return indices[0], distances[0]
+
+    def _scan(
+        self, queries: np.ndarray, budget: int, mask: Optional[np.ndarray]
+    ) -> np.ndarray:
+        """Stage 1: top-``budget`` candidate rows per query, by code scores."""
+        n = self.n_points
+        encoded = self._encode_queries(queries)
+        if budget >= n:
+            return np.broadcast_to(
+                np.arange(n, dtype=np.int64), (queries.shape[0], n)
+            )
+        out = np.empty((queries.shape[0], budget), dtype=np.int64)
+        for start, stop in iter_blocks(queries.shape[0], self.query_block):
+            scores = self._scores(encoded[start:stop])
+            if mask is not None:
+                scores[:, ~mask] = np.inf
+            out[start:stop] = np.argpartition(scores, budget - 1, axis=1)[:, :budget]
+        return out
+
+    # ------------------------------------------------------------------ #
+    # introspection
+    # ------------------------------------------------------------------ #
+    def stats(self) -> Dict[str, Any]:
+        stats = super().stats()
+        if not self.is_built:
+            return stats
+        stats.update(
+            {
+                "metric": self.metric,
+                "rerank_factor": int(self.rerank_factor),
+                "resident_bytes": self.resident_bytes(),
+                "float32_bytes": int(self.n_points) * int(self.dim) * 4,
+                "rerank_source": "memmap" if self._store is not None else "resident",
+            }
+        )
+        if self._store is not None:
+            stats["mapped_bytes"] = self._store.file_bytes
+        return stats
+
+    # ------------------------------------------------------------------ #
+    # persistence: arrays.npz for the codec, VectorStore for the vectors
+    # ------------------------------------------------------------------ #
+    def _state(self):
+        self._require_built()
+        config, arrays = self._codec_state()
+        config = dict(config)
+        arrays = dict(arrays)
+        config["__metric__"] = self.metric
+        config["__rerank_factor__"] = int(self.rerank_factor)
+        config["__query_block__"] = int(self.query_block)
+        config["__n_points__"] = int(self.n_points)
+        config["__dim__"] = int(self.dim)
+        return config, arrays, {}
+
+    @classmethod
+    def _from_state(cls, config, arrays, load_child):
+        index = cls(
+            metric=str(config["__metric__"]),
+            rerank_factor=int(config["__rerank_factor__"]),
+            query_block=int(config.get("__query_block__", DEFAULT_QUERY_BLOCK)),
+        )
+        index._n_points = int(config["__n_points__"])
+        index._dim = int(config["__dim__"])
+        index._restore_codec(config, arrays)
+        return index
+
+    def save(
+        self,
+        path: str | os.PathLike,
+        *,
+        manifest_extra: Optional[Mapping[str, Any]] = None,
+    ) -> Path:
+        """Save codec state via the shared format plus a ``vectors/`` store.
+
+        The full-precision matrix deliberately stays out of ``arrays.npz``
+        (which loads eagerly): it goes into a row-major
+        :class:`VectorStore` that :meth:`load` re-opens as a memmap.
+        """
+        path = super().save(path, manifest_extra=manifest_extra)
+        VectorStore.create(Path(path) / VECTORS_DIR, self._vectors)
+        return path
+
+    @classmethod
+    def load(cls, path: str | os.PathLike):
+        """Reload the codec and attach the re-rank vectors as a memmap."""
+        index = super().load(path)
+        store = VectorStore.open(Path(path) / VECTORS_DIR)
+        if store.shape != (index.n_points, index.dim):
+            raise SerializationError(
+                f"vector store at {path} holds {store.shape} vectors but the "
+                f"index expects ({index.n_points}, {index.dim}); the store "
+                "and the codes do not belong together"
+            )
+        index._store = store
+        index._vectors = store.vectors
+        return index
+
+    def _validate_codes_shape(self, codes: np.ndarray) -> None:
+        """Guard a restored code matrix against a mismatched manifest."""
+        if codes.shape[0] != self._n_points:
+            raise ValidationError(
+                f"code matrix has {codes.shape[0]} rows, manifest says "
+                f"{self._n_points}"
+            )

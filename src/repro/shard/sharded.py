@@ -920,3 +920,8 @@ _register_config(
     spec="ivf-flat",
     partitioner="kmeans",
 )
+_register_config(
+    "sharded-sq8",
+    "Sharded int8 scan: per-shard scalar-quantized codes with exact re-rank",
+    spec="sq8",
+)

@@ -58,6 +58,9 @@ TINY_PARAMS = {
     "sharded-bruteforce": dict(n_shards=3),
     "sharded-kmeans": dict(n_shards=2, shard_params=dict(n_bins=2, seed=0)),
     "sharded-ivf": dict(n_shards=2, shard_params=dict(n_lists=2, seed=0)),
+    "sq8": dict(rerank_factor=4),
+    "pq-adc": dict(n_subspaces=4, n_codewords=16, seed=0),
+    "sharded-sq8": dict(n_shards=2),
 }
 
 

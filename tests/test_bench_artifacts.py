@@ -57,7 +57,13 @@ class TestSmokeArtifactGuard:
         conftest.smoke_artifact_guard(tmp_path / "bench_store.json", smoke=True)
 
     def test_every_ci_bench_has_the_flag_and_the_guard(self):
-        for name in ("bench_shard", "bench_filter", "bench_store", "bench_load"):
+        for name in (
+            "bench_shard",
+            "bench_filter",
+            "bench_store",
+            "bench_load",
+            "bench_quant",
+        ):
             source = (BENCH_DIR / f"{name}.py").read_text()
             assert "resolve_out_dir" in source, f"{name} lost its --out-dir flag"
             assert "smoke_artifact_guard" in source, f"{name} lost the smoke guard"

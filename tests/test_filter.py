@@ -418,6 +418,9 @@ FILTERABLE_FAST_BACKENDS = [
     ("pca-tree", dict(depth=3), dict(n_probes=2)),
     ("hyperplane-lsh", dict(n_hyperplanes=3, seed=0), dict(n_probes=2)),
     ("sharded-bruteforce", dict(n_shards=3), {}),
+    ("sq8", {}, {}),
+    ("pq-adc", dict(n_subspaces=4, n_codewords=16, seed=0), {}),
+    ("sharded-sq8", dict(n_shards=2), {}),
 ]
 
 
@@ -542,6 +545,55 @@ class TestShardedFilterProperty:
             np.testing.assert_array_equal(got_ids, expected_ids)
             np.testing.assert_allclose(got_distances, expected_distances, rtol=1e-12)
         sharded.close()
+
+    def test_filtered_quant_matches_bruteforce_over_subset(self):
+        # Inline masks over code rows: with the over-fetch budget
+        # covering the allowed subset, a quantized backend's filtered
+        # answer IS brute force over the subset (the scan is skipped,
+        # the subset re-ranks exactly); with the default budget every
+        # returned id still satisfies the mask and carries its exact
+        # full-precision distance.
+        for backend, params in (
+            ("sq8", {}),
+            ("pq-adc", dict(n_subspaces=4, n_codewords=16, seed=0)),
+        ):
+            for metric in ("euclidean", "cosine"):
+                rng = np.random.default_rng(13)
+                n = 300
+                base = rng.normal(size=(n, 12))
+                queries = rng.normal(size=(6, 12))
+                score = rng.permutation(n).astype(np.float64) / n
+                attr_store = AttributeStore().add_numeric("score", score)
+                index = make_index(backend, metric=metric, **params).build(base)
+                index.set_attributes(attr_store)
+                stored = base.astype(np.float32)
+                from repro.utils.distances import get_metric
+
+                full = get_metric(metric)(queries, stored)
+                rows = np.arange(queries.shape[0])[:, None]
+                for selectivity in (0.01, 0.1, 0.5):
+                    predicate = Range("score", high=selectivity - 0.5 / n)
+                    mask = predicate.mask(attr_store)
+                    expected_ids, expected_distances = _exact_filtered(
+                        stored, queries, mask, 10, metric
+                    )
+                    got_ids, got_distances = index.batch_query(
+                        queries, 10, filter=predicate, rerank=int(mask.sum())
+                    )
+                    np.testing.assert_array_equal(got_ids, expected_ids)
+                    np.testing.assert_allclose(
+                        got_distances, expected_distances, rtol=1e-12
+                    )
+                    got_ids, got_distances = index.batch_query(
+                        queries, 10, filter=predicate
+                    )
+                    returned = got_ids >= 0
+                    assert mask[got_ids[returned]].all(), (backend, selectivity)
+                    np.testing.assert_allclose(
+                        got_distances[returned],
+                        full[np.broadcast_to(rows, got_ids.shape)[returned], got_ids[returned]],
+                        rtol=1e-12,
+                    )
 
     def test_filtered_sharded_with_mutation(self):
         rng = np.random.default_rng(7)
