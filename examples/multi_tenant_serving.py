@@ -137,8 +137,8 @@ def main() -> None:
         )
 
         _, metrics = request_json(f"{server.url}/metrics")
-        assert 'repro_tenant_queries{tenant="acme"}' in metrics
-        assert 'repro_tenant_quota_denials{tenant="globex"}' in metrics
+        assert 'repro_tenant_queries_total{tenant="acme"}' in metrics
+        assert 'repro_tenant_quota_denials_total{tenant="globex"}' in metrics
         _, stats = request_json(f"{server.url}/stats")
         acme_stats = stats["tenants"]["tenants"]["acme"]
         print(

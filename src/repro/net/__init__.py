@@ -57,7 +57,13 @@ from .errors import (
 )
 from .http import HttpRequest, HttpResponse
 from .metrics import Histogram, ServerMetrics
-from .server import DEADLINE_HEADER, TENANT_HEADER, SearchServer, ServerConfig
+from .server import (
+    DEADLINE_HEADER,
+    TENANT_HEADER,
+    TRACE_ID_HEADER,
+    SearchServer,
+    ServerConfig,
+)
 
 __all__ = [
     "AdmissionController",
@@ -83,6 +89,7 @@ __all__ = [
     "ServerMetrics",
     "DEADLINE_HEADER",
     "TENANT_HEADER",
+    "TRACE_ID_HEADER",
     "SearchServer",
     "ServerConfig",
 ]

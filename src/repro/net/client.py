@@ -24,6 +24,7 @@ import urllib.request
 from dataclasses import dataclass, field
 from typing import Any, Dict, Mapping, Optional, Tuple
 
+from ..obs.trace import TRACEPARENT_HEADER, current_traceparent
 from ..utils.exceptions import ValidationError
 from .http import MAX_HEADER_BYTES
 
@@ -165,6 +166,12 @@ class AsyncHttpClient:
         all_headers: Dict[str, str] = dict(headers or {})
         if deadline_ms is not None:
             all_headers["X-Deadline-Ms"] = f"{float(deadline_ms):g}"
+        if TRACEPARENT_HEADER not in {key.lower() for key in all_headers}:
+            # Forward the active trace so the server joins it instead of
+            # starting its own; explicit headers always win.
+            traceparent = current_traceparent()
+            if traceparent is not None:
+                all_headers[TRACEPARENT_HEADER] = traceparent
         attempt = 0
         while True:
             status, response_headers, parsed = await self._request_once(
@@ -269,6 +276,10 @@ def request_json(
     )
     if deadline_ms is not None:
         request.add_header("X-Deadline-Ms", f"{float(deadline_ms):g}")
+    if not request.has_header(TRACEPARENT_HEADER.capitalize()):
+        traceparent = current_traceparent()
+        if traceparent is not None:
+            request.add_header(TRACEPARENT_HEADER, traceparent)
     try:
         with urllib.request.urlopen(request, timeout=timeout) as response:
             raw = response.read()

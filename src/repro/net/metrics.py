@@ -7,114 +7,31 @@ wrapped :meth:`SearchService.stats` counters as one Prometheus
 text-format (version 0.0.4) page, so the numbers operators scrape are
 the same numbers the in-process benchmarks report.
 
-Everything here is plain stdlib + dict arithmetic: histograms use fixed
-log-spaced buckets (``le`` labels, cumulative, with ``+Inf``), which is
-exactly what a Prometheus server expects from a client library.
+The histogram and exposition-format primitives live in
+:mod:`repro.obs.metrics` (the shared telemetry layer) and are
+re-exported here for compatibility; this module keeps the HTTP-specific
+:class:`ServerMetrics` and the renderers that fold service, replication,
+tenant, and per-stage tracing series into the ``/metrics`` page.
 """
 
 from __future__ import annotations
 
 import threading
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Tuple
 
-#: log-spaced latency buckets (seconds): 1ms .. 30s
-LATENCY_BUCKETS = (
-    0.001,
-    0.0025,
-    0.005,
-    0.01,
-    0.025,
-    0.05,
-    0.1,
-    0.25,
-    0.5,
-    1.0,
-    2.5,
-    5.0,
-    10.0,
-    30.0,
+from ..obs.metrics import (  # noqa: F401  (re-exported for compatibility)
+    DEPTH_BUCKETS,
+    LATENCY_BUCKETS,
+    Histogram,
+    emit_counter as _counter,
+    emit_gauge as _gauge,
+    emit_histogram as _histogram,
+    emit_labeled_histogram as _labeled_histogram,
+    escape_label_value,
+    format_labels,
+    format_value,
+    lint_prometheus_text,
 )
-
-#: queue-depth buckets (requests waiting+executing at admission time)
-DEPTH_BUCKETS = (0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
-
-
-class Histogram:
-    """Fixed-bucket cumulative histogram (Prometheus semantics)."""
-
-    def __init__(self, buckets: Iterable[float]) -> None:
-        self.bounds = tuple(sorted(float(b) for b in buckets))
-        self.counts = [0] * (len(self.bounds) + 1)  # last bucket = +Inf
-        self.total = 0
-        self.sum = 0.0
-
-    def observe(self, value: float) -> None:
-        value = float(value)
-        self.total += 1
-        self.sum += value
-        for position, bound in enumerate(self.bounds):
-            if value <= bound:
-                self.counts[position] += 1
-                return
-        self.counts[-1] += 1
-
-    def percentile(self, q: float) -> float:
-        """Approximate percentile from bucket upper bounds (for reports)."""
-        if self.total == 0:
-            return 0.0
-        rank = q / 100.0 * self.total
-        seen = 0
-        for position, bound in enumerate(self.bounds):
-            seen += self.counts[position]
-            if seen >= rank:
-                return bound
-        return float("inf")
-
-    def cumulative(self) -> List[Tuple[str, int]]:
-        """``(le, cumulative_count)`` pairs, ending with ``+Inf``."""
-        pairs: List[Tuple[str, int]] = []
-        running = 0
-        for position, bound in enumerate(self.bounds):
-            running += self.counts[position]
-            pairs.append((format_value(bound), running))
-        pairs.append(("+Inf", self.total))
-        return pairs
-
-
-def format_value(value: Any) -> str:
-    """A number in Prometheus exposition syntax (no trailing zeros noise)."""
-    number = float(value)
-    if number == float("inf"):
-        return "+Inf"
-    if number == int(number) and abs(number) < 1e15:
-        return str(int(number))
-    return repr(number)
-
-
-def escape_label_value(value: Any) -> str:
-    """A label value escaped per the text exposition format (0.0.4).
-
-    Backslash, double quote, and newline are the three characters the
-    format requires escaping inside quoted label values.  Tenant names
-    are caller-supplied, so without this a hostile name like
-    ``evil"} 1\\n`` would split a sample line and corrupt the scrape.
-    """
-    return (
-        str(value)
-        .replace("\\", "\\\\")
-        .replace('"', '\\"')
-        .replace("\n", "\\n")
-    )
-
-
-def format_labels(labels: Mapping[str, Any]) -> str:
-    if not labels:
-        return ""
-    inner = ",".join(
-        f'{key}="{escape_label_value(value)}"'
-        for key, value in sorted(labels.items())
-    )
-    return "{" + inner + "}"
 
 
 class ServerMetrics:
@@ -216,6 +133,7 @@ class ServerMetrics:
         service_stats: Optional[Mapping[str, Mapping[str, Any]]] = None,
         replication: Optional[Mapping[str, Any]] = None,
         tenant_stats: Optional[Mapping[str, Mapping[str, Any]]] = None,
+        stage_seconds: Optional[Mapping[str, Histogram]] = None,
     ) -> str:
         """The full ``/metrics`` page.
 
@@ -229,7 +147,10 @@ class ServerMetrics:
         gauges.  ``tenant_stats`` maps tenant name →
         ``TenantGateway.stats()``, rendered as ``repro_tenant_*`` series
         carrying a ``tenant`` label (values escaped — tenant names are
-        caller-supplied).
+        caller-supplied).  ``stage_seconds`` maps traced stage name →
+        latency histogram (from :meth:`repro.obs.Tracer.stage_histograms`),
+        rendered as one ``repro_stage_seconds{stage=...}`` family so
+        dashboards get per-stage attribution without reading traces.
         """
         lines: List[str] = []
         with self._lock:
@@ -301,20 +222,40 @@ class ServerMetrics:
             _render_replication(lines, replication)
         if tenant_stats:
             _render_tenant_stats(lines, tenant_stats)
+        if stage_seconds:
+            _labeled_histogram(
+                lines,
+                "repro_stage_seconds",
+                "Traced per-stage latency, by stage (from sampled traces).",
+                stage_seconds,
+                "stage",
+            )
         return "\n".join(lines) + "\n"
 
 
-#: ``SearchService.stats()`` scalar fields exported per service, with type
+#: ``SearchService.stats()`` scalar fields exported per service:
+#: (stats field, metric suffix, type, help) — counters carry the
+#: ``_total`` suffix the exposition format expects.
 _SERVICE_FIELDS = (
-    ("queries", "counter", "Queries served."),
-    ("batches", "counter", "Batches served."),
-    ("cache_hits", "counter", "Result-cache hits."),
-    ("query_seconds", "counter", "Total time spent answering queries."),
-    ("queries_per_second", "gauge", "Recent serving throughput."),
-    ("cache_hit_ratio", "gauge", "Cache hits over queries."),
-    ("mean_latency_ms", "gauge", "Mean per-query latency (ms)."),
-    ("p50_latency_ms", "gauge", "Median per-query latency (ms)."),
-    ("p95_latency_ms", "gauge", "95th percentile per-query latency (ms)."),
+    ("queries", "queries_total", "counter", "Queries served."),
+    ("batches", "batches_total", "counter", "Batches served."),
+    ("cache_hits", "cache_hits_total", "counter", "Result-cache hits."),
+    (
+        "query_seconds",
+        "query_seconds_total",
+        "counter",
+        "Total time spent answering queries.",
+    ),
+    ("queries_per_second", "queries_per_second", "gauge", "Recent serving throughput."),
+    ("cache_hit_ratio", "cache_hit_ratio", "gauge", "Cache hits over queries."),
+    ("mean_latency_ms", "mean_latency_ms", "gauge", "Mean per-query latency (ms)."),
+    ("p50_latency_ms", "p50_latency_ms", "gauge", "Median per-query latency (ms)."),
+    (
+        "p95_latency_ms",
+        "p95_latency_ms",
+        "gauge",
+        "95th percentile per-query latency (ms).",
+    ),
 )
 
 #: nested gauges: (stats section, field)
@@ -332,7 +273,7 @@ _SERVICE_NESTED = (
 def _render_service_stats(
     lines: List[str], service_stats: Mapping[str, Mapping[str, Any]]
 ) -> None:
-    for field_name, kind, help_text in _SERVICE_FIELDS:
+    for field_name, suffix, kind, help_text in _SERVICE_FIELDS:
         samples = []
         for service, stats in sorted(service_stats.items()):
             value = stats.get(field_name)
@@ -340,7 +281,7 @@ def _render_service_stats(
                 samples.append(({"service": service}, value))
         if samples:
             emit = _counter if kind == "counter" else _gauge
-            emit(lines, f"repro_service_{field_name}", help_text, samples)
+            emit(lines, f"repro_service_{suffix}", help_text, samples)
     for section, field_name in _SERVICE_NESTED:
         samples = []
         for service, stats in sorted(service_stats.items()):
@@ -389,18 +330,50 @@ def _render_replication(lines: List[str], replication: Mapping[str, Any]) -> Non
             # A primary's own log is, definitionally, fully applied.
             value = replication.get("last_seq")
         if isinstance(value, (int, float)):
-            _gauge(lines, f"repro_replica_{suffix}", help_text, [(labels, value)])
+            emit = _counter if suffix.endswith("_total") else _gauge
+            emit(lines, f"repro_replica_{suffix}", help_text, [(labels, value)])
 
 
-#: ``TenantGateway.stats()`` scalar fields exported per tenant, with type
+#: ``TenantGateway.stats()`` scalar fields exported per tenant:
+#: (stats field, metric suffix, type, help)
 _TENANT_FIELDS = (
-    ("queries", "counter", "Search calls served for this tenant."),
-    ("query_rows", "counter", "Query rows served for this tenant."),
-    ("cache_hits", "counter", "Result-cache hits for this tenant."),
-    ("write_calls", "counter", "Mutation calls served for this tenant."),
-    ("quota_denials", "counter", "Requests refused over a tenant quota."),
-    ("latency_seconds_sum", "counter", "Total serving time for this tenant."),
-    ("vectors_used", "gauge", "Vectors counted against the tenant's cap."),
+    ("queries", "queries_total", "counter", "Search calls served for this tenant."),
+    (
+        "query_rows",
+        "query_rows_total",
+        "counter",
+        "Query rows served for this tenant.",
+    ),
+    (
+        "cache_hits",
+        "cache_hits_total",
+        "counter",
+        "Result-cache hits for this tenant.",
+    ),
+    (
+        "write_calls",
+        "write_calls_total",
+        "counter",
+        "Mutation calls served for this tenant.",
+    ),
+    (
+        "quota_denials",
+        "quota_denials_total",
+        "counter",
+        "Requests refused over a tenant quota.",
+    ),
+    (
+        "latency_seconds_sum",
+        "latency_seconds_total",
+        "counter",
+        "Total serving time for this tenant.",
+    ),
+    (
+        "vectors_used",
+        "vectors_used",
+        "gauge",
+        "Vectors counted against the tenant's cap.",
+    ),
 )
 
 #: nested tenant gauges: (stats section, field)
@@ -419,7 +392,7 @@ _TENANT_NESTED = (
 def _render_tenant_stats(
     lines: List[str], tenant_stats: Mapping[str, Mapping[str, Any]]
 ) -> None:
-    for field_name, kind, help_text in _TENANT_FIELDS:
+    for field_name, suffix, kind, help_text in _TENANT_FIELDS:
         samples = []
         for tenant, stats in sorted(tenant_stats.items()):
             value = stats.get(field_name)
@@ -427,7 +400,7 @@ def _render_tenant_stats(
                 samples.append(({"tenant": tenant}, value))
         if samples:
             emit = _counter if kind == "counter" else _gauge
-            emit(lines, f"repro_tenant_{field_name}", help_text, samples)
+            emit(lines, f"repro_tenant_{suffix}", help_text, samples)
     for section, field_name in _TENANT_NESTED:
         samples = []
         for tenant, stats in sorted(tenant_stats.items()):
@@ -441,26 +414,3 @@ def _render_tenant_stats(
                 f"Tenant {section} gauge {field_name} from TenantGateway.stats().",
                 samples,
             )
-
-
-def _counter(lines, name, help_text, samples) -> None:
-    lines.append(f"# HELP {name} {help_text}")
-    lines.append(f"# TYPE {name} counter")
-    for labels, value in samples:
-        lines.append(f"{name}{format_labels(labels)} {format_value(value)}")
-
-
-def _gauge(lines, name, help_text, samples) -> None:
-    lines.append(f"# HELP {name} {help_text}")
-    lines.append(f"# TYPE {name} gauge")
-    for labels, value in samples:
-        lines.append(f"{name}{format_labels(labels)} {format_value(value)}")
-
-
-def _histogram(lines, name, histogram: Histogram) -> None:
-    lines.append(f"# HELP {name} Histogram of {name}.")
-    lines.append(f"# TYPE {name} histogram")
-    for le, count in histogram.cumulative():
-        lines.append(f'{name}_bucket{{le="{le}"}} {count}')
-    lines.append(f"{name}_sum {format_value(histogram.sum)}")
-    lines.append(f"{name}_count {histogram.total}")

@@ -22,7 +22,13 @@ in-process call never needed:
   (collection-backed) checkpoints, so a restart replays nothing;
 * **observability** — ``/stats`` (JSON) and ``/metrics`` (Prometheus
   text) expose the HTTP-layer counters and the stack's own
-  ``stats()`` gauges from one scrape.
+  ``stats()`` gauges from one scrape; every request can carry a
+  :mod:`repro.obs` trace — extracted from an inbound ``traceparent``
+  header or head-sampled locally — whose span tree (parse → admission
+  queue → tenant ACL/quota → service cache → shard scan → quant
+  scan/re-rank → merge → serialize) lands in a ring buffer served from
+  ``/debug/traces``, with slow/error requests tail-sampled even when
+  head sampling said no.
 
 Endpoints (JSON unless noted)::
 
@@ -33,7 +39,10 @@ Endpoints (JSON unless noted)::
     POST /extend_attributes  {"rows": {col: [...]}}
     GET  /stats              serving + admission counters
     GET  /metrics            Prometheus text format
-    GET  /healthz            {"status": "ok" | "draining"}
+    GET  /healthz            liveness: {"status": "ok" | "draining"}, always 200
+    GET  /readyz             readiness: 503 while draining; replica role + lag
+    GET  /debug/traces       recent traces (?format=jsonl for the raw ring)
+    GET  /debug/traces/<id>  one trace's full span tree
 
 Multi-service deployments address a service with ``?service=<name>``;
 requests carrying a filter are implicitly routed to a filterable
@@ -53,6 +62,7 @@ untenanted work with 400 ``missing_tenant``.
 from __future__ import annotations
 
 import asyncio
+import contextvars
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -61,6 +71,15 @@ from typing import Any, Dict, Optional
 
 import numpy as np
 
+from ..obs.trace import (
+    TRACEPARENT_HEADER,
+    Tracer,
+    TracingConfig,
+    activate,
+    current_trace,
+    deactivate,
+    span,
+)
 from ..service.request import BatchResult, QueryRequest
 from ..service.router import Router
 from ..service.service import SearchService
@@ -89,6 +108,9 @@ DEADLINE_HEADER = "X-Deadline-Ms"
 #: header naming the tenant a request acts as (multi-tenant deployments)
 TENANT_HEADER = "X-Tenant"
 
+#: response header carrying the id of the trace a request produced
+TRACE_ID_HEADER = "X-Trace-Id"
+
 #: endpoints that execute search-stack work (admission-controlled)
 WORK_ENDPOINTS = ("query", "batch_query", "add", "remove", "extend_attributes")
 #: endpoints that mutate durable state (refused first while draining)
@@ -105,6 +127,10 @@ class ServerConfig:
     ``X-Deadline-Ms`` header (``None`` = no implicit deadline).
     ``chunk_rows`` is the deadline-check granularity of batch execution
     (defaults to the service's own micro-batch size).
+    ``trace_sample_rate`` is the head-sampling probability for request
+    traces (0 disables head sampling; slow/error requests are still
+    tail-recorded past ``slow_trace_seconds``); ``trace_capacity`` and
+    ``trace_slow_log`` size the trace ring buffer and worst-N log.
     """
 
     host: str = "127.0.0.1"
@@ -116,6 +142,10 @@ class ServerConfig:
     drain_grace_seconds: float = 30.0
     chunk_rows: Optional[int] = None
     checkpoint_on_drain: bool = True
+    trace_sample_rate: float = 1.0
+    slow_trace_seconds: float = 0.25
+    trace_capacity: int = 256
+    trace_slow_log: int = 32
 
     def __post_init__(self) -> None:
         if int(self.max_concurrency) < 1:
@@ -129,6 +159,10 @@ class ServerConfig:
             raise ValidationError("default_deadline_seconds must be positive or None")
         if float(self.drain_grace_seconds) <= 0:
             raise ValidationError("drain_grace_seconds must be positive")
+        if not 0.0 <= float(self.trace_sample_rate) <= 1.0:
+            raise ValidationError("trace_sample_rate must be in [0, 1]")
+        if float(self.slow_trace_seconds) <= 0:
+            raise ValidationError("slow_trace_seconds must be positive")
 
 
 class SearchServer:
@@ -171,6 +205,7 @@ class SearchServer:
         maintenance=None,
         replication=None,
         tenants=None,
+        tracer: Optional[Tracer] = None,
     ) -> None:
         self.config = config or ServerConfig()
         if target is not None and _is_tenant_registry(target):
@@ -209,6 +244,14 @@ class SearchServer:
             self.config.max_concurrency, self.config.queue_limit
         )
         self.metrics = ServerMetrics()
+        self.tracer = tracer or Tracer(
+            TracingConfig(
+                sample_rate=self.config.trace_sample_rate,
+                slow_threshold_seconds=self.config.slow_trace_seconds,
+                capacity=self.config.trace_capacity,
+                slow_log_size=self.config.trace_slow_log,
+            )
+        )
         self.host = self.config.host
         self.port: Optional[int] = None
         self.drain_clean: Optional[bool] = None
@@ -222,6 +265,25 @@ class SearchServer:
         self._loop: Optional[asyncio.AbstractEventLoop] = None
         self._thread: Optional[threading.Thread] = None
         self._thread_error: Optional[BaseException] = None
+        self._share_tracer()
+
+    def _share_tracer(self) -> None:
+        """Hand this server's tracer to every hosted stats surface.
+
+        Services, tenant registries, and replica groups report the trace
+        sampling rate and dropped-span counts from their ``stats()``
+        when a tracer is attached; sharing one tracer keeps those
+        numbers consistent with ``/debug/traces``.
+        """
+        targets = list(self._all_services().values())
+        if self.tenants is not None:
+            targets.append(self.tenants)
+        for target in targets:
+            if getattr(target, "tracer", None) is None:
+                try:
+                    target.tracer = self.tracer
+                except AttributeError:
+                    pass
 
     # ------------------------------------------------------------------ #
     # lifecycle
@@ -362,6 +424,7 @@ class SearchServer:
         self._connections.add(task)
         try:
             while True:
+                read_started = time.perf_counter()
                 try:
                     request = await read_request(
                         reader, max_body_bytes=self.config.max_body_bytes
@@ -375,24 +438,57 @@ class SearchServer:
                     break
                 if request is None:
                     break
+                read_done = time.perf_counter()
                 started = time.monotonic()
                 # busy until the response is flushed: shutdown() cancels
                 # only idle connections, never one mid-request
                 self._busy.add(task)
+                endpoint_name = request.path.strip("/") or "_root"
+                if endpoint_name.startswith("debug/traces/"):
+                    # collapse trace ids so the endpoint label (and the
+                    # stage histogram it feeds) stays bounded-cardinality
+                    endpoint_name = "debug/traces/:id"
+                trace = self.tracer.begin(
+                    f"http.{endpoint_name}",
+                    traceparent=request.headers.get(TRACEPARENT_HEADER),
+                    start=read_started,
+                    attributes={"method": request.method},
+                )
+                token = None
+                if trace is not None:
+                    trace.record("http.parse", read_started, read_done)
+                    token = activate(trace)
                 try:
                     response = await self._dispatch(request)
                     elapsed = time.monotonic() - started
                     response.keep_alive = (
                         response.keep_alive and request.keep_alive and not self._draining
                     )
+                    if trace is not None:
+                        response.headers.setdefault(TRACE_ID_HEADER, trace.trace_id)
+                        self.tracer.finish(trace, status=response.status)
+                        trace = None
+                    elif self.tracer.should_tail_sample(elapsed, response.status):
+                        self.tracer.tail_record(
+                            f"http.{endpoint_name}",
+                            elapsed,
+                            status=response.status,
+                            attributes={"method": request.method},
+                        )
                     self.metrics.observe_request(
-                        request.path.strip("/") or "_root",
+                        endpoint_name,
                         response.status,
                         seconds=elapsed,
                     )
                     writer.write(response.encode())
                     await writer.drain()
                 finally:
+                    if token is not None:
+                        deactivate(token)
+                    if trace is not None:
+                        # connection failed mid-request: the partial span
+                        # tree is still evidence — export it as aborted
+                        self.tracer.finish(trace, status="aborted")
                     self._busy.discard(task)
                 if not response.keep_alive:
                     break
@@ -422,11 +518,21 @@ class SearchServer:
                     raise MethodNotAllowed("/metrics takes GET")
                 return HttpResponse.text(self._render_metrics())
             if endpoint == "healthz":
+                # Liveness only: answers 200 while the process can answer
+                # at all (even mid-drain).  Readiness lives at /readyz.
                 if request.method != "GET":
                     raise MethodNotAllowed("/healthz takes GET")
                 return HttpResponse.json(
                     {"status": "draining" if self._draining else "ok"}
                 )
+            if endpoint == "readyz":
+                if request.method != "GET":
+                    raise MethodNotAllowed("/readyz takes GET")
+                return self._handle_readyz()
+            if endpoint == "debug/traces" or endpoint.startswith("debug/traces/"):
+                if request.method != "GET":
+                    raise MethodNotAllowed("/debug/traces takes GET")
+                return self._handle_debug_traces(endpoint, request)
             if endpoint == "replicate" and self._ships_wal:
                 if request.method != "GET":
                     raise MethodNotAllowed("/replicate takes GET")
@@ -436,7 +542,15 @@ class SearchServer:
                 f"unknown endpoint /{endpoint}; serving: "
                 + ", ".join(
                     f"/{name}"
-                    for name in (*WORK_ENDPOINTS, "stats", "metrics", "healthz", *extra)
+                    for name in (
+                        *WORK_ENDPOINTS,
+                        "stats",
+                        "metrics",
+                        "healthz",
+                        "readyz",
+                        "debug/traces",
+                        *extra,
+                    )
                 )
             )
         except asyncio.CancelledError:
@@ -478,17 +592,28 @@ class SearchServer:
         job = self._build_job(endpoint, service, body, deadline)
         depth_at_admission = self.admission.depth
         waited_from = time.monotonic()
-        await self.admission.admit(deadline)
+        with span("admission.queue", depth=depth_at_admission):
+            await self.admission.admit(deadline)
         queue_seconds = time.monotonic() - waited_from
         self.metrics.observe_admission(queue_seconds, depth_at_admission)
         executing_from = time.monotonic()
         try:
-            payload = await asyncio.get_running_loop().run_in_executor(
-                self._executor, job
-            )
+            loop = asyncio.get_running_loop()
+            if current_trace() is not None:
+                # Carry the trace into the worker thread: the copied
+                # context makes spans opened by the job (service, shard,
+                # quant layers) children of this request's trace.
+                with span("execute", endpoint=endpoint):
+                    context = contextvars.copy_context()
+                    payload = await loop.run_in_executor(
+                        self._executor, context.run, job
+                    )
+            else:
+                payload = await loop.run_in_executor(self._executor, job)
         finally:
             self.admission.release(exec_seconds=time.monotonic() - executing_from)
-        return HttpResponse.json(payload)
+        with span("serialize"):
+            return HttpResponse.json(payload)
 
     def _all_services(self) -> Dict[str, SearchService]:
         if self.router is not None:
@@ -668,6 +793,62 @@ class SearchServer:
     # ------------------------------------------------------------------ #
     # observability endpoints
     # ------------------------------------------------------------------ #
+    def _handle_readyz(self) -> HttpResponse:
+        """Readiness: should a load balancer send traffic here *now*?
+
+        Distinct from ``/healthz`` liveness (the process is up, don't
+        restart it): readiness is 503 while draining so routers stop
+        sending work, and reports the replica role and replication lag
+        (``last_applied_seq`` vs the primary) so a consistency-sensitive
+        router can prefer fresher replicas.
+        """
+        payload: Dict[str, Any] = {
+            "status": "draining" if self._draining else "ready",
+            "draining": self._draining,
+        }
+        if self.replication is not None:
+            stats = self.replication.stats()
+            last_applied = stats.get("last_applied_seq")
+            if last_applied is None:
+                # A primary's own log is, definitionally, fully applied.
+                last_applied = stats.get("last_seq")
+            payload["replication"] = {
+                "role": stats.get("role"),
+                "name": stats.get("name"),
+                "last_applied_seq": last_applied,
+                "primary_last_seq": stats.get(
+                    "primary_last_seq", stats.get("last_seq")
+                ),
+                "lag_seq": stats.get("lag_seq", 0),
+            }
+        return HttpResponse.json(payload, status=503 if self._draining else 200)
+
+    def _handle_debug_traces(
+        self, endpoint: str, request: HttpRequest
+    ) -> HttpResponse:
+        trace_id = endpoint[len("debug/traces"):].strip("/")
+        if trace_id:
+            matches = self.tracer.store.get(trace_id)
+            if not matches:
+                raise NotFound(
+                    f"no stored trace {trace_id!r} (evicted or never sampled)",
+                    code="unknown_trace",
+                )
+            return HttpResponse.json({"trace_id": trace_id, "traces": matches})
+        if request.query.get("format") == "jsonl":
+            return HttpResponse.text(self.tracer.store.to_jsonl())
+        try:
+            limit = int(request.query.get("limit", "50"))
+        except ValueError:
+            raise BadRequest("limit must be an integer") from None
+        return HttpResponse.json(
+            {
+                "tracing": self.tracer.stats(),
+                "traces": self.tracer.store.list(limit=limit),
+                "slow": self.tracer.slow_log.worst(),
+            }
+        )
+
     def _stats_payload(self) -> Dict[str, Any]:
         services = {
             name: service.stats() for name, service in self._all_services().items()
@@ -685,6 +866,7 @@ class SearchServer:
                 **self.metrics.snapshot(),
             },
             "services": services,
+            "tracing": self.tracer.stats(),
         }
         if self.replication is not None:
             payload["replication"] = self.replication.stats()
@@ -707,6 +889,7 @@ class SearchServer:
             tenant_stats=(
                 None if self.tenants is None else self.tenants.stats()["tenants"]
             ),
+            stage_seconds=self.tracer.stage_histograms(),
         )
 
     def __repr__(self) -> str:

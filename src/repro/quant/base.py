@@ -34,6 +34,7 @@ import numpy as np
 
 from ..api.protocol import RegisteredIndex
 from ..core.base import rerank_candidates
+from ..obs.trace import span
 from ..utils.distances import iter_blocks
 from ..utils.exceptions import (
     ConfigurationError,
@@ -245,17 +246,34 @@ class QuantizedIndexBase(RegisteredIndex):
             if allowed.size <= budget:
                 # The whole surviving subset fits in the re-rank budget:
                 # skip stage 1 — exact brute force over the subset.
-                return rerank_candidates(
-                    self._vectors,
-                    queries,
-                    [allowed] * n_queries,
-                    k,
-                    metric=self.metric,
-                )
-        candidates = self._scan(queries, budget, mask)
-        return rerank_candidates(
-            self._vectors, queries, list(candidates), k, metric=self.metric
-        )
+                with span(
+                    "quant.rerank",
+                    candidates=int(allowed.size),
+                    subset_shortcut=True,
+                    source="memmap" if self._store is not None else "resident",
+                ):
+                    return rerank_candidates(
+                        self._vectors,
+                        queries,
+                        [allowed] * n_queries,
+                        k,
+                        metric=self.metric,
+                    )
+        with span(
+            "quant.scan",
+            rows=int(self.n_points),
+            budget=int(budget),
+            kernel=getattr(type(self), "_registry_name", type(self).__name__),
+        ):
+            candidates = self._scan(queries, budget, mask)
+        with span(
+            "quant.rerank",
+            candidates=int(budget),
+            source="memmap" if self._store is not None else "resident",
+        ):
+            return rerank_candidates(
+                self._vectors, queries, list(candidates), k, metric=self.metric
+            )
 
     def query(
         self,

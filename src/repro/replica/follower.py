@@ -36,6 +36,7 @@ import threading
 from pathlib import Path
 from typing import Any, Dict, Optional
 
+from ..obs.trace import span
 from ..store.collection import Collection
 from ..utils.exceptions import BootstrapRequired, ValidationError
 from .wire import decode_wire_record
@@ -128,7 +129,7 @@ class Follower:
         applied in memory — the follower acknowledges nothing it could
         not replay after a crash.
         """
-        with self._sync_lock:
+        with self._sync_lock, span("replica.sync", follower=self.name) as sync_span:
             try:
                 batch = self.source.poll(self.last_applied_seq, max_records=max_records)
             except BootstrapRequired:
@@ -144,6 +145,7 @@ class Follower:
                 applied += 1
             self.records_applied += applied
             self.primary_last_seq = max(int(batch.last_seq), self.last_applied_seq)
+            sync_span.set(applied=applied, lag_seq=self.lag)
             return applied
 
     def resync(self) -> "Follower":

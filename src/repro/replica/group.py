@@ -96,6 +96,8 @@ class ReplicaGroup:
         self.session_waits = 0
         self.session_redirects = 0
         self.writes = 0
+        # Shared Tracer, injected by the hosting SearchServer (if any).
+        self.tracer = None
         for follower in followers:
             self.add_follower(follower)
 
@@ -263,6 +265,8 @@ class ReplicaGroup:
             "followers": [follower.stats() for follower in followers],
             "max_lag_seq": max((f.lag for f in followers), default=0),
         }
+        if self.tracer is not None:
+            stats["tracing"] = self.tracer.stats()
         return stats
 
     def service_config(self) -> Dict[str, Any]:

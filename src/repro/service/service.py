@@ -27,6 +27,7 @@ only after the operation is durably journaled.
 
 from __future__ import annotations
 
+import contextvars
 import os
 import threading
 import time
@@ -36,6 +37,7 @@ from typing import Any, Dict, List, Optional, Tuple
 import numpy as np
 
 from ..api.persistence import load_index
+from ..obs.trace import current_trace, span
 from ..api.protocol import IndexCapabilities
 from ..store.collection import Collection, is_collection_dir
 from ..utils.exceptions import ValidationError
@@ -117,6 +119,9 @@ class SearchService:
             QueryCache(cache_size) if cache_size else None
         )
         self.metrics = ServiceMetrics()
+        # Set by a hosting SearchServer (or directly) to a repro.obs
+        # Tracer; stats() then reports sampling rate and span loss.
+        self.tracer = None
         self._pool: Optional[ThreadPoolExecutor] = None
         # Serialises stats() assembly against cache invalidation so one
         # snapshot never mixes pre- and post-mutation counters.
@@ -297,7 +302,21 @@ class SearchService:
             return self.index.batch_query(chunk, k, **kwargs)
 
         if threaded and len(chunks) > 1:
-            results = list(self._executor().map(run, chunks))
+            if current_trace() is not None:
+                # One context copy per chunk: a single Context cannot be
+                # entered concurrently, and each copy carries the active
+                # trace into its pool thread so index-layer spans still
+                # attach to this request's tree.
+                contexts = [contextvars.copy_context() for _ in chunks]
+                results = list(
+                    self._executor().map(
+                        lambda context, chunk: context.run(run, chunk),
+                        contexts,
+                        chunks,
+                    )
+                )
+            else:
+                results = list(self._executor().map(run, chunks))
         else:
             results = [run(chunk) for chunk in chunks]
         ids = np.vstack([r[0] for r in results])
@@ -346,33 +365,41 @@ class SearchService:
         if queries.shape[0] != 1:
             raise ValidationError("search() takes a single query; use search_batch()")
         kwargs = self.query_kwargs(request)
-        cache = self._request_cache()
-        cache_key = None
-        if cache is not None:
+        with span("service.search", k=int(request.k)) as search_span:
+            cache = self._request_cache()
+            cache_key = None
+            if cache is not None:
+                start = time.perf_counter()
+                with span("service.cache") as cache_span:
+                    cache_key = QueryCache.key_for(
+                        queries[0], request.cache_key() + self._cache_tag
+                    )
+                    hit = cache.get(cache_key)
+                    cache_span.set(hit=hit is not None)
+                if hit is not None:
+                    elapsed = time.perf_counter() - start
+                    search_span.set(cache_hit=True)
+                    self.metrics.observe_batch(1, elapsed, "cached", cache_hits=1)
+                    return QueryResult(
+                        ids=hit[0],
+                        distances=hit[1],
+                        request=request,
+                        latency_seconds=elapsed,
+                        cached=True,
+                    )
             start = time.perf_counter()
-            cache_key = QueryCache.key_for(
-                queries[0], request.cache_key() + self._cache_tag
+            ids, distances = self.index.batch_query(queries, request.k, **kwargs)
+            elapsed = time.perf_counter() - start
+            if cache is not None and cache_key is not None:
+                cache.put(cache_key, ids[0], distances[0])
+            search_span.set(cache_hit=False)
+            self.metrics.observe_batch(1, elapsed, "serial")
+            return QueryResult(
+                ids=ids[0],
+                distances=distances[0],
+                request=request,
+                latency_seconds=elapsed,
             )
-            hit = cache.get(cache_key)
-            if hit is not None:
-                elapsed = time.perf_counter() - start
-                self.metrics.observe_batch(1, elapsed, "cached", cache_hits=1)
-                return QueryResult(
-                    ids=hit[0],
-                    distances=hit[1],
-                    request=request,
-                    latency_seconds=elapsed,
-                    cached=True,
-                )
-        start = time.perf_counter()
-        ids, distances = self.index.batch_query(queries, request.k, **kwargs)
-        elapsed = time.perf_counter() - start
-        if cache is not None and cache_key is not None:
-            cache.put(cache_key, ids[0], distances[0])
-        self.metrics.observe_batch(1, elapsed, "serial")
-        return QueryResult(
-            ids=ids[0], distances=distances[0], request=request, latency_seconds=elapsed
-        )
 
     def search_batch(
         self,
@@ -406,18 +433,25 @@ class SearchService:
         kwargs = self.query_kwargs(request)
         run_mode = self._pick_mode(mode, queries.shape[0])
 
-        cache = self._request_cache()
-        start = time.perf_counter()
-        if cache is None:
-            ids, distances = self._run_chunks(
-                queries, request.k, kwargs, run_mode == "threaded"
-            )
-            cache_hits = 0
-        else:
-            ids, distances, cache_hits = self._search_batch_cached(
-                queries, request, kwargs, run_mode, cache
-            )
-        elapsed = time.perf_counter() - start
+        with span(
+            "service.search",
+            k=int(request.k),
+            n_queries=int(queries.shape[0]),
+            mode=run_mode,
+        ) as search_span:
+            cache = self._request_cache()
+            start = time.perf_counter()
+            if cache is None:
+                ids, distances = self._run_chunks(
+                    queries, request.k, kwargs, run_mode == "threaded"
+                )
+                cache_hits = 0
+            else:
+                ids, distances, cache_hits = self._search_batch_cached(
+                    queries, request, kwargs, run_mode, cache
+                )
+            elapsed = time.perf_counter() - start
+            search_span.set(cache_hits=cache_hits)
 
         self.metrics.observe_batch(queries.shape[0], elapsed, run_mode, cache_hits)
         recall = None
@@ -598,6 +632,8 @@ class SearchService:
                 stats["index"] = self.index.stats()
             except Exception:
                 stats["index"] = {"class": type(self.index).__name__}
+            if self.tracer is not None:
+                stats["tracing"] = self.tracer.stats()
             return stats
 
     def reset_stats(self) -> None:

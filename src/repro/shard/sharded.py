@@ -25,6 +25,7 @@ like any other registered index, including through ``Router.save``.
 
 from __future__ import annotations
 
+import contextvars
 import inspect
 import threading
 import time
@@ -34,6 +35,7 @@ from typing import Any, Dict, List, Mapping, Optional, Tuple
 import numpy as np
 
 from ..api.protocol import IndexCapabilities, RegisteredIndex
+from ..obs.trace import current_trace, span
 from ..api.registry import get_spec, register_index
 from ..utils.distances import pairwise_topk
 from ..utils.exceptions import ConfigurationError, NotFittedError, ValidationError
@@ -498,22 +500,23 @@ class ShardedIndex(RegisteredIndex):
                     local_mask = None
             local_k = min(k + int(dead_per_shard[shard]), members.shape[0])
             kwargs = self._child_kwargs(child, probes)
-            if local_mask is None:
-                local_ids, distances = child.batch_query(queries, local_k, **kwargs)
-            else:
-                capabilities = getattr(type(child), "capabilities", None)
-                if capabilities is not None and capabilities.filterable:
-                    local_ids, distances = child.batch_query(
-                        queries, local_k, filter=local_mask, **kwargs
-                    )
+            with span("shard.scan", shard=shard, rows=int(members.shape[0])):
+                if local_mask is None:
+                    local_ids, distances = child.batch_query(queries, local_k, **kwargs)
                 else:
-                    # Unregistered/legacy shard backend: apply the generic
-                    # planner on its behalf so the merge stays exact.
-                    from ..filter.planner import DEFAULT_PLANNER
+                    capabilities = getattr(type(child), "capabilities", None)
+                    if capabilities is not None and capabilities.filterable:
+                        local_ids, distances = child.batch_query(
+                            queries, local_k, filter=local_mask, **kwargs
+                        )
+                    else:
+                        # Unregistered/legacy shard backend: apply the generic
+                        # planner on its behalf so the merge stays exact.
+                        from ..filter.planner import DEFAULT_PLANNER
 
-                    local_ids, distances = DEFAULT_PLANNER.filtered_search(
-                        child, queries, local_k, local_mask, query_kwargs=kwargs
-                    )
+                        local_ids, distances = DEFAULT_PLANNER.filtered_search(
+                            child, queries, local_k, local_mask, query_kwargs=kwargs
+                        )
             valid = local_ids >= 0
             global_ids = np.where(
                 valid, members[np.clip(local_ids, 0, members.shape[0] - 1)], -1
@@ -522,7 +525,20 @@ class ShardedIndex(RegisteredIndex):
 
         shard_range = range(self.n_shards)
         if self.parallel == "thread" and self.n_shards > 1:
-            results = list(self._executor().map(run, shard_range))
+            if current_trace() is not None:
+                # One context copy per shard task: a Context cannot be
+                # entered concurrently, and the copies carry the active
+                # trace so per-shard scan spans join the request's tree.
+                contexts = [contextvars.copy_context() for _ in shard_range]
+                results = list(
+                    self._executor().map(
+                        lambda context, shard: context.run(run, shard),
+                        contexts,
+                        shard_range,
+                    )
+                )
+            else:
+                results = list(self._executor().map(run, shard_range))
         else:
             results = [run(shard) for shard in shard_range]
         return [result for result in results if result is not None]
@@ -635,10 +651,11 @@ class ShardedIndex(RegisteredIndex):
 
             mask = resolve_filter(filter, self, filter_row_count(self))
         parts = self._scatter(queries, k, probes, shards, shard_ids, mask)
-        pending = self._pending_topk(queries, k, pending_ids, mask)
-        if pending is not None:
-            parts.append(pending)
-        return self._merge_topk(parts, queries.shape[0], k)
+        with span("shard.merge", parts=len(parts)):
+            pending = self._pending_topk(queries, k, pending_ids, mask)
+            if pending is not None:
+                parts.append(pending)
+            return self._merge_topk(parts, queries.shape[0], k)
 
     def query(
         self,

@@ -35,6 +35,7 @@ from typing import Any, Dict, Optional
 import numpy as np
 
 from ..filter.predicate import And, Predicate
+from ..obs.trace import span
 from ..service.cache import QueryCache
 from ..service.request import BatchResult, QueryRequest, QueryResult
 from ..utils.exceptions import QuotaExceededError, ValidationError
@@ -85,6 +86,8 @@ class TenantGateway:
         self._quota_denials = 0
         self._latency_sum = 0.0
         self._delegate_tag: Any = None
+        # Shared Tracer, injected by the hosting SearchServer (if any).
+        self.tracer = None
 
     # ------------------------------------------------------------------ #
     # delegate passthroughs (what hosts duck-type against)
@@ -215,8 +218,10 @@ class TenantGateway:
     def search(
         self, query: np.ndarray, request: Optional[QueryRequest] = None, **overrides
     ) -> QueryResult:
-        request = self.effective_request(request, **overrides)
-        self._charge(self.query_bucket, 1, "qps")
+        with span("tenant.acl_quota", tenant=self.name) as policy_span:
+            request = self.effective_request(request, **overrides)
+            policy_span.set(acl=self.config.acl is not None)
+            self._charge(self.query_bucket, 1, "qps")
         start = time.perf_counter()
         cache = self._partition()
         key = self._cache_key(query, request) if cache is not None else None
@@ -249,10 +254,12 @@ class TenantGateway:
         ground_truth: Optional[np.ndarray] = None,
         **overrides,
     ) -> BatchResult:
-        request = self.effective_request(request, **overrides)
         queries = np.atleast_2d(np.asarray(queries, dtype=np.float64))
         n = int(queries.shape[0])
-        self._charge(self.query_bucket, max(n, 1), "qps")
+        with span("tenant.acl_quota", tenant=self.name, n_queries=n) as policy_span:
+            request = self.effective_request(request, **overrides)
+            policy_span.set(acl=self.config.acl is not None)
+            self._charge(self.query_bucket, max(n, 1), "qps")
         start = time.perf_counter()
         # Recall scoring needs the whole batch to flow through the
         # delegate, so ground-truth calls bypass the gateway partition.
@@ -357,6 +364,8 @@ class TenantGateway:
             snapshot["write_bucket"] = self.write_bucket.stats()
         if self.cache is not None:
             snapshot["cache"] = self.cache.stats()
+        if self.tracer is not None:
+            snapshot["tracing"] = self.tracer.stats()
         return snapshot
 
     def service_config(self) -> Dict[str, Any]:

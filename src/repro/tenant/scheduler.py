@@ -32,19 +32,34 @@ from typing import Deque, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from ..obs.trace import current_span_id, current_trace
 from ..service.request import BatchResult, QueryRequest
 from ..utils.exceptions import QuotaExceededError, ValidationError
 from .gateway import TenantGateway
 
 
 class _Pick:
-    __slots__ = ("gateway", "queries", "request", "future")
+    __slots__ = (
+        "gateway",
+        "queries",
+        "request",
+        "future",
+        "trace",
+        "parent_id",
+        "submitted_at",
+    )
 
     def __init__(self, gateway, queries, request, future) -> None:
         self.gateway = gateway
         self.queries = queries
         self.request = request
         self.future = future
+        # Queue time is attributed to the submitter's trace: the span is
+        # recorded when the pick executes (on the drain thread), spanning
+        # submit -> execution-done under the span active at submit time.
+        self.trace = current_trace()
+        self.parent_id = current_span_id() if self.trace is not None else None
+        self.submitted_at = perf_counter()
 
 
 class FairScheduler:
@@ -189,10 +204,13 @@ class FairScheduler:
         try:
             result = service.search_batch(stacked, request)
         except BaseException as exc:  # noqa: BLE001 - fan the failure out
+            done = perf_counter()
             for pick in members:
+                self._record_span(pick, done, len(members), error=repr(exc))
                 pick.future.set_exception(exc)
             return rows
         elapsed = perf_counter() - start
+        done = start + elapsed
         with self._lock:
             self.executed_calls += 1
             if len(members) > 1:
@@ -209,6 +227,7 @@ class FairScheduler:
                 cache_hits=result.cache_hits if len(members) == 1 else 0,
             )
             offset += n
+            self._record_span(pick, done, len(members))
             pick.gateway._observe_query(n, elapsed, hits=slice_result.cache_hits)
             with self._lock:
                 self.served_rows[pick.gateway.name] = (
@@ -216,6 +235,22 @@ class FairScheduler:
                 )
             pick.future.set_result(slice_result)
         return rows
+
+    @staticmethod
+    def _record_span(pick: _Pick, done: float, group_size: int, **attributes) -> None:
+        """Attribute queue + execution time to the submitter's trace."""
+        if pick.trace is None:
+            return
+        pick.trace.record(
+            "scheduler.batch",
+            pick.submitted_at,
+            done,
+            parent_id=pick.parent_id,
+            tenant=pick.gateway.name,
+            rows=int(pick.queries.shape[0]),
+            coalesced=group_size > 1,
+            **attributes,
+        )
 
     def flush(self) -> int:
         """Run rounds until every queue is empty; returns rows served.

@@ -63,6 +63,9 @@ class TestSmokeArtifactGuard:
             "bench_store",
             "bench_load",
             "bench_quant",
+            "bench_replica",
+            "bench_tenant",
+            "bench_obs",
         ):
             source = (BENCH_DIR / f"{name}.py").read_text()
             assert "resolve_out_dir" in source, f"{name} lost its --out-dir flag"

@@ -684,7 +684,7 @@ class TestMetricsEscaping:
         lines = [
             line
             for line in rendered.splitlines()
-            if line.startswith("repro_tenant_queries{")
+            if line.startswith("repro_tenant_queries_total{")
         ]
         assert len(lines) == 1
         assert lines[0].endswith(" 3")
@@ -808,5 +808,5 @@ class TestTenantServing:
         assert stats["tenants"]["cache_budget"]["max_bytes"] == 1 << 20
         status, text = request_json(server.url + "/metrics")
         assert status == 200
-        assert 'repro_tenant_queries{tenant="acme"}' in text
-        assert 'repro_tenant_quota_denials{tenant="starved"}' in text
+        assert 'repro_tenant_queries_total{tenant="acme"}' in text
+        assert 'repro_tenant_quota_denials_total{tenant="starved"}' in text
